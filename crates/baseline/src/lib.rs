@@ -1,0 +1,18 @@
+//! # pygt-baseline
+//!
+//! A faithful stand-in for PyTorch Geometric Temporal v0.54: edge-parallel
+//! message passing with per-edge feature duplication retained until
+//! backward, fully-materialised COO snapshot storage for DTDGs, and a TGCN
+//! whose gate structure, parameter order and mathematics match STGraph's —
+//! so the frameworks compute the same model and only time/memory differ
+//! (the comparison of §VII).
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod model;
+pub mod train;
+
+pub use coo::CooGraph;
+pub use model::{propagate, BaselineGcnConv, BaselineTgcn};
+pub use train::{BaselineDtdg, BaselineRegressor};

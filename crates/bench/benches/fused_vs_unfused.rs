@@ -1,0 +1,53 @@
+//! Ablation: fused Seastar kernels (edge values in registers) vs the
+//! unfused reference backend (edge values materialised) — the Seastar
+//! operator-fusion claim (§IV), on GCN and GAT forward aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stgraph::backend::{AggregationBackend, ReferenceBackend, SeastarBackend};
+use stgraph_graph::base::{gcn_norm, Snapshot};
+use stgraph_seastar::ir::{gat_aggregation, gcn_aggregation};
+use stgraph_tensor::Tensor;
+
+fn random_snapshot(n: u32, m: usize, seed: u64) -> Snapshot {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    use rand::Rng;
+    let edges: Vec<(u32, u32)> =
+        (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    Snapshot::from_edges(n as usize, &edges)
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let n = 4000u32;
+    let m = 40_000;
+    let f = 32;
+    let snap = random_snapshot(n, m, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let x = Tensor::rand_uniform((n as usize, f), -1.0, 1.0, &mut rng);
+    let norm = Tensor::from_vec((n as usize, 1), gcn_norm(&snap.in_degrees));
+    let el = Tensor::rand_uniform((n as usize, 1), -1.0, 1.0, &mut rng);
+    let er = Tensor::rand_uniform((n as usize, 1), -1.0, 1.0, &mut rng);
+    let gcn = gcn_aggregation(f);
+    let gat = gat_aggregation(f, 0.2);
+
+    let mut group = c.benchmark_group("fused_vs_unfused");
+    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    for (name, be) in [
+        ("fused", &SeastarBackend as &dyn AggregationBackend),
+        ("unfused", &ReferenceBackend as &dyn AggregationBackend),
+    ] {
+        group.bench_with_input(BenchmarkId::new("gcn_forward", name), &name, |b, _| {
+            b.iter(|| std::hint::black_box(be.execute(&gcn, &snap, &[&x], &[&norm], &[], &[])))
+        });
+        group.bench_with_input(BenchmarkId::new("gat_forward", name), &name, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(be.execute(&gat, &snap, &[&x, &el, &er], &[], &[], &[]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: GPMA batch updates vs rebuilding a CSR from scratch — the
+//! §V.D claim that PMA storage makes on-demand snapshots affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stgraph_graph::csr::Csr;
+use stgraph_pma::Gpma;
+
+fn random_edges(rng: &mut ChaCha8Rng, n: u32, m: usize) -> Vec<(u32, u32)> {
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < m {
+        set.insert((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    set.into_iter().collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pma_update_vs_csr_rebuild");
+    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[10_000usize, 50_000] {
+        let n = (m / 10) as u32;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let base = random_edges(&mut rng, n, m);
+        let batch: Vec<(u32, u32)> = (0..m / 100)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let dels: Vec<(u32, u32)> = base.iter().step_by(100).copied().collect();
+
+        group.bench_with_input(BenchmarkId::new("gpma_batch_update", m), &m, |b, _| {
+            let gpma = Gpma::from_edges(n as usize, &base);
+            b.iter_batched(
+                || gpma.clone_state(),
+                |mut g| {
+                    g.insert_edges(&batch);
+                    g.delete_edges(&dels);
+                    g.relabel_edges();
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("csr_full_rebuild", m), &m, |b, _| {
+            b.iter(|| {
+                let mut edges = base.clone();
+                edges.extend(&batch);
+                let del: std::collections::HashSet<_> = dels.iter().collect();
+                edges.retain(|e| !del.contains(e));
+                std::hint::black_box(Csr::from_edges(n as usize, &edges))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

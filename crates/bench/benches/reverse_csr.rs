@@ -1,0 +1,32 @@
+//! Ablation: the parallel atomic-sub reverse-CSR kernel (Algorithm 3) vs
+//! the sequential transpose.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stgraph_graph::csr::{reverse_csr, reverse_csr_sequential, Csr};
+
+fn bench_reverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reverse_csr");
+    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[20_000usize, 200_000] {
+        let n = m / 10;
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let g = Csr::from_edges(n, &edges);
+        let in_deg = reverse_csr_sequential(&g, n).degrees();
+
+        group.bench_with_input(BenchmarkId::new("algorithm3_parallel", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(reverse_csr(&g, &in_deg)))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_transpose", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(reverse_csr_sequential(&g, n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reverse);
+criterion_main!(benches);

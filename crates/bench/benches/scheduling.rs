@@ -1,0 +1,58 @@
+//! Ablation: degree-sorted `node_ids` scheduling (Figure 3) vs natural
+//! vertex order, on a skewed-degree graph where long rows matter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stgraph::backend::{AggregationBackend, SeastarBackend};
+use stgraph_graph::base::{gcn_norm, Snapshot};
+use stgraph_seastar::ir::gcn_aggregation;
+use stgraph_tensor::Tensor;
+use std::sync::Arc;
+
+fn bench_scheduling(c: &mut Criterion) {
+    // Power-law graph: a few hubs with huge in-degree.
+    let n = 8000u32;
+    let m = 120_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| {
+            let u = rng.gen_range(0..n);
+            let v = ((n as f64) * rng.gen_range(0.0f64..1.0).powf(3.0)) as u32 % n;
+            (u, v)
+        })
+        .collect();
+    let sorted = Snapshot::from_edges(n as usize, &edges);
+    // Same snapshot but with node_ids reset to natural order.
+    let rev = &sorted.reverse_csr;
+    let mut rev2 = stgraph_graph::csr::Csr::from_parts(
+        rev.row_offset.clone(),
+        rev.col_indices.clone(),
+        rev.eids.clone(),
+    );
+    rev2.node_ids = (0..n).collect();
+    let unsorted = Snapshot {
+        csr: sorted.csr.clone(),
+        reverse_csr: Arc::new(rev2),
+        in_degrees: sorted.in_degrees.clone(),
+        out_degrees: sorted.out_degrees.clone(),
+    };
+    let f = 32;
+    let x = Tensor::rand_uniform((n as usize, f), -1.0, 1.0, &mut rng);
+    let norm = Tensor::from_vec((n as usize, 1), gcn_norm(&sorted.in_degrees));
+    let prog = gcn_aggregation(f);
+
+    let mut group = c.benchmark_group("degree_sorted_scheduling");
+    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    for (name, snap) in [("degree_sorted", &sorted), ("natural_order", &unsorted)] {
+        group.bench_with_input(BenchmarkId::new("gcn_forward", name), &name, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(SeastarBackend.execute(&prog, snap, &[&x], &[&norm], &[], &[]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

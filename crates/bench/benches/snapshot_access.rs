@@ -1,0 +1,56 @@
+//! Ablation: NaiveGraph O(1) snapshot access vs GPMAGraph on-demand
+//! construction (update + relabel + view + Algorithm-3 reverse), the
+//! time/memory trade-off of §V.C vs §V.D.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stgraph_dyngraph::{DtdgGraph, DtdgSource, GpmaGraph, NaiveGraph};
+
+fn churn_source(n: u32, m0: usize, t: usize, seed: u64) -> DtdgSource {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cur: std::collections::BTreeSet<(u32, u32)> =
+        (0..m0).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let mut snaps = vec![cur.iter().copied().collect::<Vec<_>>()];
+    for _ in 1..t {
+        let removals: Vec<(u32, u32)> =
+            cur.iter().copied().filter(|_| rng.gen_bool(0.05)).collect();
+        for r in &removals {
+            cur.remove(r);
+        }
+        for _ in 0..removals.len() {
+            cur.insert((rng.gen_range(0..n), rng.gen_range(0..n)));
+        }
+        snaps.push(cur.iter().copied().collect());
+    }
+    DtdgSource::from_snapshot_edges(n as usize, snaps)
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let src = churn_source(2000, 30_000, 8, 7);
+    let mut group = c.benchmark_group("snapshot_access");
+    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("naive_sweep", 8), |b| {
+        let mut g = NaiveGraph::new(&src);
+        b.iter(|| {
+            for t in 0..8 {
+                std::hint::black_box(g.get_graph(t));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("gpma_sweep", 8), |b| {
+        let mut g = GpmaGraph::new(&src);
+        b.iter(|| {
+            for t in 0..8 {
+                std::hint::black_box(g.get_graph(t));
+            }
+            for t in (0..8).rev() {
+                std::hint::black_box(g.get_backward_graph(t));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshots);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Design-choice ablations beyond the paper's figures, printed as one
+//! table each:
+//!
+//! 1. **State-Stack saved-set minimisation** (§V.B): bytes retained on the
+//!    State Stack mid-sequence, minimal vs save-everything policy.
+//! 2. **Degree-sorted scheduling** (Figure 3) and **kernel fusion** (§IV)
+//!    are measured by the Criterion benches; this binary reports the
+//!    saved-set ablation which is about *memory*, not time.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stgraph::backend::create_backend;
+use stgraph::executor::{compile, compile_save_all_inputs, GraphSource, TemporalExecutor};
+use stgraph_graph::base::{gcn_norm, Snapshot};
+use stgraph_seastar::ir::{gat_aggregation, gcn_aggregation};
+use stgraph_tensor::{Tape, Tensor};
+
+fn main() {
+    let n = 2000usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    use rand::Rng;
+    let edges: Vec<(u32, u32)> = (0..n * 8)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    let f = 32;
+
+    println!("Ablation: State-Stack saved-set minimisation (seq of 10 timestamps, n={n}, m={}, F={f})", edges.len());
+    println!("{:<10} {:<12} {:>16} {:>16}", "layer", "policy", "stack_bytes", "stack_peak_depth");
+    for (layer, make) in [
+        ("GCN", true),
+        ("GAT", false),
+    ] {
+        for (policy, save_all) in [("minimal", false), ("save-all", true)] {
+            let snap = Snapshot::from_edges(n, &edges);
+            let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap.clone()));
+            let prog = if make {
+                if save_all { compile_save_all_inputs(gcn_aggregation(f)) } else { compile(gcn_aggregation(f)) }
+            } else if save_all {
+                compile_save_all_inputs(gat_aggregation(f, 0.2))
+            } else {
+                compile(gat_aggregation(f, 0.2))
+            };
+            let norm = Tensor::from_vec((n, 1), gcn_norm(&snap.in_degrees));
+            let tape = Tape::new();
+            let mut x = tape.constant(Tensor::rand_uniform((n, f), -1.0, 1.0, &mut rng));
+            for t in 0..10 {
+                x = if make {
+                    exec.apply(&tape, &prog, t, &[&x], vec![norm.clone()], vec![])
+                } else {
+                    let el = x.slice_cols(0, 1);
+                    let er = x.slice_cols(1, 2);
+                    exec.apply(&tape, &prog, t, &[&x, &el, &er], vec![], vec![])
+                };
+            }
+            let (_, _, peak_depth, bytes) = exec.state_stack_stats();
+            println!("{:<10} {:<12} {:>16} {:>16}", layer, policy, bytes, peak_depth);
+            let loss = x.square().sum();
+            tape.backward(&loss);
+        }
+    }
+    println!("\n(minimal = the paper's forward/backward IR comparison; save-all = what a\nframework without that analysis would retain. GCN needs nothing; GAT keeps\nonly width-1 attention vectors, never the [m, F] messages.)");
+}

@@ -1,0 +1,28 @@
+//! Figure 5: per-epoch time vs feature size for the five static-temporal
+//! datasets, STGraph vs PyG-T (TGCN, node regression, MSE).
+
+use stgraph_bench::{print_table, run_static, write_json, BenchScale, Framework, Row, StaticConfig};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let feature_sizes = [8usize, 16, 32, 64];
+    let datasets = ["WVM", "WO", "HC", "MB", "PM"];
+    let mut rows = Vec::new();
+    for ds in datasets {
+        for &f in &feature_sizes {
+            let cfg = StaticConfig::new(ds, f, 10);
+            for fw in [Framework::PygT, Framework::StGraph] {
+                let r = run_static(&cfg, fw, scale);
+                eprintln!("done {ds} F={f} {} ({:.1} ms)", fw.name(), r.epoch_ms);
+                rows.push(Row { dataset: ds.into(), series: fw.name().into(), x: f as f64, result: r });
+            }
+        }
+    }
+    print_table(
+        "Figure 5: per-epoch time vs feature size (static-temporal)",
+        "feat",
+        &rows,
+        "pygt",
+    );
+    write_json("fig5", &rows);
+}

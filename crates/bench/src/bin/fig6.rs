@@ -1,0 +1,30 @@
+//! Figure 6: memory consumption vs sequence length for the five
+//! static-temporal datasets at feature size 8, STGraph vs PyG-T.
+
+use stgraph_bench::{print_table, run_static, write_json, BenchScale, Framework, Row, StaticConfig};
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    // Sequence-length sweep needs enough timestamps to matter.
+    scale.timestamps = scale.timestamps.max(40);
+    let seq_lens = [5usize, 10, 20, 40];
+    let datasets = ["WVM", "WO", "HC", "MB", "PM"];
+    let mut rows = Vec::new();
+    for ds in datasets {
+        for &s in &seq_lens {
+            let cfg = StaticConfig::new(ds, 8, s);
+            for fw in [Framework::PygT, Framework::StGraph] {
+                let r = run_static(&cfg, fw, scale);
+                eprintln!("done {ds} seq={s} {} ({:.1} MiB)", fw.name(), r.peak_bytes as f64 / 1048576.0);
+                rows.push(Row { dataset: ds.into(), series: fw.name().into(), x: s as f64, result: r });
+            }
+        }
+    }
+    print_table(
+        "Figure 6: peak memory vs sequence length (static-temporal, feature size 8)",
+        "seqlen",
+        &rows,
+        "pygt",
+    );
+    write_json("fig6", &rows);
+}

@@ -1,0 +1,26 @@
+//! Figure 7: per-epoch time vs feature size for the five DTDGs at 5%
+//! snapshot change — STGraph-Naive, STGraph-GPMA and PyG-T (TGCN, link
+//! prediction, BCE-with-logits).
+
+use stgraph_bench::{
+    print_table, run_dynamic, write_json, BenchScale, DynamicConfig, DynamicVariant, Row,
+};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let feature_sizes = [8usize, 16, 32, 64];
+    let datasets = ["WT", "SU", "SO", "MO", "RT"];
+    let mut rows = Vec::new();
+    for ds in datasets {
+        for &f in &feature_sizes {
+            let cfg = DynamicConfig::new(ds, f, 5.0);
+            for v in [DynamicVariant::PygT, DynamicVariant::Naive, DynamicVariant::Gpma] {
+                let r = run_dynamic(&cfg, v, scale);
+                eprintln!("done {ds} F={f} {} ({:.1} ms)", v.name(), r.epoch_ms);
+                rows.push(Row { dataset: ds.into(), series: v.name().into(), x: f as f64, result: r });
+            }
+        }
+    }
+    print_table("Figure 7: per-epoch time vs feature size (DTDG, 5% change)", "feat", &rows, "pygt");
+    write_json("fig7", &rows);
+}

@@ -1,0 +1,29 @@
+//! Figure 8: memory consumption vs percentage change between snapshots for
+//! the five DTDGs — STGraph-Naive, STGraph-GPMA and PyG-T.
+
+use stgraph_bench::{
+    print_table, run_dynamic, write_json, BenchScale, DynamicConfig, DynamicVariant, Row,
+};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let pcts = [1.0f64, 2.5, 5.0, 10.0];
+    let datasets = ["WT", "SU", "SO", "MO", "RT"];
+    let mut rows = Vec::new();
+    for ds in datasets {
+        for &p in &pcts {
+            let mut cfg = DynamicConfig::new(ds, 8, p);
+            // Smaller % change => more snapshots for the same stream; the
+            // snapshot count is exactly what drives Naive/PyG-T memory, so
+            // do not truncate it here.
+            cfg.max_timestamps = 500;
+            for v in [DynamicVariant::PygT, DynamicVariant::Naive, DynamicVariant::Gpma] {
+                let r = run_dynamic(&cfg, v, scale);
+                eprintln!("done {ds} pct={p} {} ({:.1} MiB)", v.name(), r.peak_bytes as f64 / 1048576.0);
+                rows.push(Row { dataset: ds.into(), series: v.name().into(), x: p, result: r });
+            }
+        }
+    }
+    print_table("Figure 8: peak memory vs % change between snapshots (DTDG)", "pct", &rows, "pygt");
+    write_json("fig8", &rows);
+}

@@ -1,0 +1,29 @@
+//! Figure 9: percentage breakdown of STGraph-GPMA's total processing time
+//! into GNN compute and graph-update time, per feature size.
+
+use stgraph_bench::{run_dynamic, write_json, BenchScale, DynamicConfig, DynamicVariant, Row};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let feature_sizes = [8usize, 16, 32, 64, 128];
+    let datasets = ["WT", "SU", "SO", "MO", "RT"];
+    let mut rows = Vec::new();
+    println!("Figure 9: STGraph-GPMA time breakdown (GNN compute vs graph update)");
+    println!("{:<6} {:>6} {:>12} {:>10} {:>10}", "data", "feat", "epoch_ms", "gnn_%", "update_%");
+    for ds in datasets {
+        for &f in &feature_sizes {
+            let cfg = DynamicConfig::new(ds, f, 5.0);
+            let r = run_dynamic(&cfg, DynamicVariant::Gpma, scale);
+            println!(
+                "{:<6} {:>6} {:>12.2} {:>9.1}% {:>9.1}%",
+                ds,
+                f,
+                r.epoch_ms,
+                100.0 * r.gnn_fraction,
+                100.0 * (1.0 - r.gnn_fraction)
+            );
+            rows.push(Row { dataset: ds.into(), series: "stgraph-gpma".into(), x: f as f64, result: r });
+        }
+    }
+    write_json("fig9", &rows);
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table II: the dataset summary, printing both the paper's
+//! reported sizes and the sizes our generators actually produce (at
+//! benchmark scale for the dynamic half).
+
+use stgraph_bench::BenchScale;
+use stgraph_datasets::{load_dynamic, load_static, table2, GraphKind};
+use stgraph_graph::base::STGraphBase;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Table II: Summary of Benchmarking Datasets");
+    println!(
+        "{:<5} {:<24} {:>10} {:>10} {:>9} | {:>12} {:>12}",
+        "S.No", "Dataset", "# Nodes", "# Edges", "Type", "gen nodes", "gen edges"
+    );
+    for (i, info) in table2().iter().enumerate() {
+        let (gn, gm, kind) = match info.kind {
+            GraphKind::StaticTemporal => {
+                let d = load_static(info.name, 4, 4);
+                (d.graph.num_nodes(), d.graph.num_edges(), "Static")
+            }
+            GraphKind::Dynamic => {
+                let d = load_dynamic(info.name, scale.scale);
+                (d.num_nodes, d.num_events(), "Dynamic")
+            }
+        };
+        println!(
+            "{:<5} {:<24} {:>10} {:>10} {:>9} | {:>12} {:>12}",
+            i + 1,
+            format!("{} ({})", info.name, info.code),
+            info.num_nodes,
+            info.num_edges,
+            kind,
+            gn,
+            gm
+        );
+    }
+    println!("\n(dynamic generators run at 1/{} of Table II size; set STGRAPH_BENCH_SCALE=1 for full size)", scale.scale);
+}

@@ -1,0 +1,171 @@
+//! DTDG benchmark runner (Figures 7, 8 & 9): link-prediction TGCN training
+//! over windowed snapshots, comparing STGraph-Naive, STGraph-GPMA and the
+//! PyG-T baseline, with the GNN-compute vs graph-update time split
+//! instrumented for the STGraph variants.
+
+use crate::{BenchScale, RunResult};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+use stgraph::backend::create_backend;
+use stgraph::executor::{GraphSource, TemporalExecutor};
+use stgraph::tgnn::Tgcn;
+use stgraph::train::{link_prediction_batches, train_epoch_link_prediction, LinkPredBatch};
+use stgraph_datasets::load_dynamic;
+use stgraph_dyngraph::{DtdgGraph, DtdgSource, GpmaGraph, NaiveGraph};
+use stgraph_tensor::mem;
+use stgraph_tensor::nn::ParamSet;
+use stgraph_tensor::optim::Adam;
+use stgraph_tensor::Tensor;
+
+/// Which DTDG implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicVariant {
+    /// STGraph with all snapshots precomputed (§V.C).
+    Naive,
+    /// STGraph with on-demand GPMA snapshots (§V.D).
+    Gpma,
+    /// The PyG-T baseline (full COO snapshot list).
+    PygT,
+}
+
+impl DynamicVariant {
+    /// Display / memory-pool name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DynamicVariant::Naive => "stgraph-naive",
+            DynamicVariant::Gpma => "stgraph-gpma",
+            DynamicVariant::PygT => "pygt",
+        }
+    }
+}
+
+/// One DTDG benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Dataset name or code (Table II, dynamic half).
+    pub dataset: String,
+    /// Feature size — the Figure 7 sweep variable.
+    pub feature_size: usize,
+    /// Percent change between consecutive snapshots — the Figure 8 sweep.
+    pub pct_change: f64,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Cap on the number of timestamps (small `pct_change` otherwise
+    /// explodes the snapshot count).
+    pub max_timestamps: usize,
+    /// Cap on positive edges sampled per timestamp for the BCE loss.
+    pub max_pos: usize,
+}
+
+impl DynamicConfig {
+    /// The paper's default DTDG configuration (5% change).
+    pub fn new(dataset: &str, feature_size: usize, pct_change: f64) -> DynamicConfig {
+        DynamicConfig {
+            dataset: dataset.to_string(),
+            feature_size,
+            pct_change,
+            seq_len: 5,
+            hidden: 16,
+            max_timestamps: 20,
+            max_pos: 512,
+        }
+    }
+}
+
+/// Builds the windowed DTDG source for a configuration.
+pub fn build_source(cfg: &DynamicConfig, scale: BenchScale) -> DtdgSource {
+    let raw = load_dynamic(&cfg.dataset, scale.scale);
+    let mut src = DtdgSource::from_temporal_edges(raw.num_nodes, &raw.edges, cfg.pct_change);
+    src.snapshots.truncate(cfg.max_timestamps);
+    src
+}
+
+/// Runs one configuration under one variant.
+pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchScale) -> RunResult {
+    let (src, batches, feats) = mem::with_pool("dataset", || {
+        let src = build_source(cfg, scale);
+        let batches: Vec<LinkPredBatch> = link_prediction_batches(&src, cfg.max_pos, 0xfeed);
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0d0d);
+        let feats = Tensor::rand_uniform((src.num_nodes, cfg.feature_size), -1.0, 1.0, &mut rng);
+        (src, batches, feats)
+    });
+    let pool = variant.name();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5737_0002);
+
+    mem::with_pool(pool, || match variant {
+        DynamicVariant::Naive | DynamicVariant::Gpma => {
+            let provider: Rc<RefCell<dyn DtdgGraph>> = match variant {
+                DynamicVariant::Naive => Rc::new(RefCell::new(NaiveGraph::new(&src))),
+                _ => Rc::new(RefCell::new(GpmaGraph::new(&src))),
+            };
+            let exec = TemporalExecutor::new(
+                create_backend("seastar"),
+                GraphSource::Dynamic(Rc::clone(&provider)),
+            );
+            let mut ps = ParamSet::new();
+            let cell = Tgcn::new(&mut ps, "tgcn", cfg.feature_size, cfg.hidden, &mut rng);
+            let mut opt = Adam::new(ps, 0.01);
+            let mut loss = 0.0;
+            for _ in 0..scale.warmup {
+                loss = train_epoch_link_prediction(
+                    &cell, &exec, &mut opt, &feats, &batches, cfg.seq_len,
+                );
+            }
+            // Drain instrumentation accumulated during warm-up.
+            let _ = exec.take_gnn_time();
+            let _ = provider.borrow_mut().take_update_time();
+            mem::reset_peak(pool);
+            let start = Instant::now();
+            for _ in 0..scale.epochs {
+                loss = train_epoch_link_prediction(
+                    &cell, &exec, &mut opt, &feats, &batches, cfg.seq_len,
+                );
+            }
+            let total = start.elapsed().as_secs_f64();
+            let epoch_ms = total * 1000.0 / scale.epochs as f64;
+            // The paper's Figure 9 splits *total* processing time into GNN
+            // processing and graph-update time; everything that is not
+            // updating/constructing snapshots is model compute.
+            let _ = exec.take_gnn_time();
+            let update = provider.borrow_mut().take_update_time().as_secs_f64();
+            RunResult {
+                epoch_ms,
+                peak_bytes: mem::stats(pool).peak,
+                final_loss: loss,
+                gnn_fraction: if total > 0.0 { (total - update).max(0.0) / total } else { 1.0 },
+            }
+        }
+        DynamicVariant::PygT => {
+            let dtdg = pygt_baseline::BaselineDtdg::new(&src);
+            let mut ps = ParamSet::new();
+            let cell =
+                pygt_baseline::BaselineTgcn::new(&mut ps, "tgcn", cfg.feature_size, cfg.hidden, &mut rng);
+            let mut opt = Adam::new(ps, 0.01);
+            let mut loss = 0.0;
+            for _ in 0..scale.warmup {
+                loss = pygt_baseline::train::train_epoch_link_prediction(
+                    &cell, &dtdg, &mut opt, &feats, &batches, cfg.seq_len,
+                );
+            }
+            mem::reset_peak(pool);
+            let start = Instant::now();
+            for _ in 0..scale.epochs {
+                loss = pygt_baseline::train::train_epoch_link_prediction(
+                    &cell, &dtdg, &mut opt, &feats, &batches, cfg.seq_len,
+                );
+            }
+            let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;
+            RunResult {
+                epoch_ms,
+                peak_bytes: mem::stats(pool).peak,
+                final_loss: loss,
+                gnn_fraction: 1.0,
+            }
+        }
+    })
+}

@@ -1,0 +1,70 @@
+//! # stgraph-bench
+//!
+//! The harness regenerating every table and figure of the paper's
+//! evaluation (§VII). The library provides the measurement machinery; one
+//! binary per exhibit (`table2`, `fig5` … `fig9`, `table3`) drives it and
+//! prints the same rows/series the paper reports. Criterion micro-benches
+//! for the substrate-level design choices live in `benches/`.
+//!
+//! Absolute numbers are CPU numbers (see DESIGN.md's device substitution);
+//! the comparisons — who wins, by what factor, where the crossovers sit —
+//! are the reproduction targets recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod dynamic_bench;
+pub mod report;
+pub mod static_bench;
+
+pub use dynamic_bench::{run_dynamic, DynamicConfig, DynamicVariant};
+pub use report::{print_table, summarize, write_json, Row};
+pub use static_bench::{run_static, Framework, StaticConfig};
+
+use serde::Serialize;
+
+/// Result of one benchmark run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Mean wall-clock time per measured epoch, milliseconds.
+    pub epoch_ms: f64,
+    /// Peak tracked memory during the measured epochs, bytes.
+    pub peak_bytes: u64,
+    /// Final training loss (cross-framework equivalence check).
+    pub final_loss: f32,
+    /// Fraction of epoch time spent on GNN compute (dynamic runs; 1.0 for
+    /// frameworks without the split instrumented).
+    pub gnn_fraction: f64,
+}
+
+/// Benchmark scale knobs, overridable via environment variables so the
+/// recorded full runs and quick smoke runs share one code path:
+/// `STGRAPH_BENCH_EPOCHS`, `STGRAPH_BENCH_WARMUP`, `STGRAPH_BENCH_SCALE`
+/// (dynamic dataset divisor), `STGRAPH_BENCH_TIMESTAMPS`.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Measured epochs per configuration.
+    pub epochs: usize,
+    /// Warm-up epochs excluded from timing (the paper ignores its first 3
+    /// of 100).
+    pub warmup: usize,
+    /// Dynamic dataset size divisor.
+    pub scale: usize,
+    /// Static-temporal timestamps per run.
+    pub timestamps: usize,
+}
+
+impl BenchScale {
+    /// Reads the scale from the environment, with defaults sized for a
+    /// multi-minute full run.
+    pub fn from_env() -> BenchScale {
+        let get = |k: &str, d: usize| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        BenchScale {
+            epochs: get("STGRAPH_BENCH_EPOCHS", 5),
+            warmup: get("STGRAPH_BENCH_WARMUP", 2),
+            scale: get("STGRAPH_BENCH_SCALE", 64),
+            timestamps: get("STGRAPH_BENCH_TIMESTAMPS", 20),
+        }
+    }
+}

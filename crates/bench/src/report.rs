@@ -1,0 +1,130 @@
+//! Result reporting: aligned console tables (the figures' series, printed
+//! as rows) and JSON dumps under `results/` for EXPERIMENTS.md.
+
+use crate::RunResult;
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// One labelled measurement row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Dataset code.
+    pub dataset: String,
+    /// Series label (framework / variant).
+    pub series: String,
+    /// Sweep variable value (feature size, sequence length, % change, ...).
+    pub x: f64,
+    /// The measurements.
+    #[serde(flatten)]
+    pub result: RunResult,
+}
+
+/// Prints a figure's rows as an aligned table with ratio columns
+/// (baseline = the series named `baseline`).
+pub fn print_table(title: &str, x_label: &str, rows: &[Row], baseline: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<6} {:<14} {:>10} {:>12} {:>12} {:>9} {:>10} {:>10}",
+        "data", "series", x_label, "epoch_ms", "peak_MiB", "loss", "speedup", "mem_ratio"
+    );
+    for row in rows {
+        let base = rows.iter().find(|r| {
+            r.series == baseline && r.dataset == row.dataset && (r.x - row.x).abs() < 1e-9
+        });
+        let (speedup, mem_ratio) = match base {
+            Some(b) if row.series != baseline => (
+                format!("{:.2}x", b.result.epoch_ms / row.result.epoch_ms),
+                format!("{:.2}x", b.result.peak_bytes as f64 / row.result.peak_bytes as f64),
+            ),
+            _ => ("-".to_string(), "-".to_string()),
+        };
+        println!(
+            "{:<6} {:<14} {:>10} {:>12.2} {:>12.2} {:>9.4} {:>10} {:>10}",
+            row.dataset,
+            row.series,
+            row.x,
+            row.result.epoch_ms,
+            row.result.peak_bytes as f64 / (1024.0 * 1024.0),
+            row.result.final_loss,
+            speedup,
+            mem_ratio,
+        );
+    }
+}
+
+/// Summarises max/avg speed-up and memory improvement of `series` over the
+/// baseline across all matching rows (Table III's aggregation).
+pub fn summarize(rows: &[Row], series: &str, baseline: &str) -> (f64, f64, f64, f64) {
+    let mut speedups = Vec::new();
+    let mut mems = Vec::new();
+    for row in rows.iter().filter(|r| r.series == series) {
+        if let Some(b) = rows.iter().find(|r| {
+            r.series == baseline && r.dataset == row.dataset && (r.x - row.x).abs() < 1e-9
+        }) {
+            speedups.push(b.result.epoch_ms / row.result.epoch_ms);
+            mems.push(b.result.peak_bytes as f64 / row.result.peak_bytes as f64);
+        }
+    }
+    let max = |v: &[f64]| v.iter().copied().fold(f64::NAN, f64::max);
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    (max(&speedups), avg(&speedups), max(&mems), avg(&mems))
+}
+
+/// Writes rows as JSON into `results/<name>.json` (for EXPERIMENTS.md).
+pub fn write_json(name: &str, rows: &[Row]) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(rows).unwrap());
+        println!("(wrote {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(ds: &str, series: &str, x: f64, ms: f64, bytes: u64) -> Row {
+        Row {
+            dataset: ds.into(),
+            series: series.into(),
+            x,
+            result: RunResult {
+                epoch_ms: ms,
+                peak_bytes: bytes,
+                final_loss: 0.1,
+                gnn_fraction: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn summarize_computes_ratios() {
+        let rows = vec![
+            row("HC", "pygt", 8.0, 100.0, 2000),
+            row("HC", "stgraph", 8.0, 50.0, 1000),
+            row("HC", "pygt", 16.0, 100.0, 3000),
+            row("HC", "stgraph", 16.0, 80.0, 1500),
+        ];
+        let (smax, savg, mmax, mavg) = summarize(&rows, "stgraph", "pygt");
+        assert!((smax - 2.0).abs() < 1e-9);
+        assert!((savg - 1.625).abs() < 1e-9);
+        assert!((mmax - 2.0).abs() < 1e-9);
+        assert!((mavg - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_skips_unmatched_x() {
+        let rows = vec![
+            row("HC", "pygt", 8.0, 100.0, 1000),
+            row("HC", "stgraph", 99.0, 50.0, 500),
+        ];
+        let (smax, savg, _, _) = summarize(&rows, "stgraph", "pygt");
+        assert!(smax.is_nan());
+        assert!(savg == 0.0 || savg.is_nan());
+    }
+}

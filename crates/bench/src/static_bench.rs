@@ -1,0 +1,131 @@
+//! Static-temporal benchmark runner (Figures 5 & 6): trains the paper's
+//! default TGCN on a static-temporal dataset under STGraph or the PyG-T
+//! baseline and reports per-epoch time, peak memory and final loss.
+
+use crate::{BenchScale, RunResult};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+use stgraph::backend::create_backend;
+use stgraph::executor::{GraphSource, TemporalExecutor};
+use stgraph::tgnn::Tgcn;
+use stgraph::train::{train_epoch_node_regression, NodeRegressor};
+use stgraph_datasets::load_static;
+use stgraph_graph::base::Snapshot;
+use stgraph_tensor::mem;
+use stgraph_tensor::nn::ParamSet;
+use stgraph_tensor::optim::Adam;
+
+/// Which framework to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framework {
+    /// This reproduction's STGraph (fused Seastar backend).
+    StGraph,
+    /// The PyG-T-equivalent edge-parallel baseline.
+    PygT,
+}
+
+impl Framework {
+    /// Display / memory-pool name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Framework::StGraph => "stgraph",
+            Framework::PygT => "pygt",
+        }
+    }
+}
+
+/// One static-temporal benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct StaticConfig {
+    /// Dataset name or code (Table II).
+    pub dataset: String,
+    /// Feature size (lags) — the Figure 5 sweep variable.
+    pub feature_size: usize,
+    /// Sequence length — the Figure 6 sweep variable.
+    pub seq_len: usize,
+    /// Hidden width of the TGCN.
+    pub hidden: usize,
+}
+
+impl StaticConfig {
+    /// The paper's default TGCN configuration on a dataset.
+    pub fn new(dataset: &str, feature_size: usize, seq_len: usize) -> StaticConfig {
+        StaticConfig { dataset: dataset.to_string(), feature_size, seq_len, hidden: 32 }
+    }
+}
+
+/// Runs one configuration and returns the measurements.
+pub fn run_static(cfg: &StaticConfig, framework: Framework, scale: BenchScale) -> RunResult {
+    // Dataset tensors are charged to a separate pool: both frameworks read
+    // the same data, so it is excluded from the comparison.
+    let ds = mem::with_pool("dataset", || {
+        load_static(&cfg.dataset, cfg.feature_size, scale.timestamps)
+    });
+    let pool = framework.name();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5737_0001);
+
+    mem::with_pool(pool, || match framework {
+        Framework::StGraph => {
+            // Pre-processing (Seastar does this once for static graphs).
+            let snap = Snapshot::from_edges(ds.graph.snapshot().csr.num_nodes(), &ds.graph.edges);
+            let exec =
+                TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+            let mut ps = ParamSet::new();
+            let cell = Tgcn::new(&mut ps, "tgcn", cfg.feature_size, cfg.hidden, &mut rng);
+            let model = NodeRegressor::new(&mut ps, cell, 1, &mut rng);
+            let mut opt = Adam::new(ps, 0.01);
+            let mut loss = 0.0;
+            for _ in 0..scale.warmup {
+                loss = train_epoch_node_regression(
+                    &model, &exec, &mut opt, &ds.features, &ds.targets, cfg.seq_len,
+                );
+            }
+            mem::reset_peak(pool);
+            let start = Instant::now();
+            for _ in 0..scale.epochs {
+                loss = train_epoch_node_regression(
+                    &model, &exec, &mut opt, &ds.features, &ds.targets, cfg.seq_len,
+                );
+            }
+            let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;
+            RunResult {
+                epoch_ms,
+                peak_bytes: mem::stats(pool).peak,
+                final_loss: loss,
+                gnn_fraction: 1.0,
+            }
+        }
+        Framework::PygT => {
+            let graph = pygt_baseline::CooGraph::new(
+                ds.graph.snapshot().csr.num_nodes(),
+                &ds.graph.edges,
+            );
+            let mut ps = ParamSet::new();
+            let cell =
+                pygt_baseline::BaselineTgcn::new(&mut ps, "tgcn", cfg.feature_size, cfg.hidden, &mut rng);
+            let model = pygt_baseline::BaselineRegressor::new(&mut ps, cell, 1, &mut rng);
+            let mut opt = Adam::new(ps, 0.01);
+            let mut loss = 0.0;
+            for _ in 0..scale.warmup {
+                loss = pygt_baseline::train::train_epoch_node_regression(
+                    &model, &graph, &mut opt, &ds.features, &ds.targets, cfg.seq_len,
+                );
+            }
+            mem::reset_peak(pool);
+            let start = Instant::now();
+            for _ in 0..scale.epochs {
+                loss = pygt_baseline::train::train_epoch_node_regression(
+                    &model, &graph, &mut opt, &ds.features, &ds.targets, cfg.seq_len,
+                );
+            }
+            let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;
+            RunResult {
+                epoch_ms,
+                peak_bytes: mem::stats(pool).peak,
+                final_loss: loss,
+                gnn_fraction: 1.0,
+            }
+        }
+    })
+}

@@ -1,0 +1,190 @@
+//! The State Stack and Graph Stack (§V.A.2, §V.B).
+//!
+//! During forward propagation over a sequence, the executor pushes one
+//! frame per kernel application: the input features the backward pass will
+//! need plus any saved intermediate values (the set computed by comparing
+//! forward and backward IRs — the paper's memory optimisation). The Graph
+//! Stack records which snapshot each application ran on. Backward
+//! propagation pops both in strict LIFO order; any violation is a bug in
+//! the training loop and panics loudly.
+
+use stgraph_tensor::Tensor;
+
+/// One State-Stack frame: the values saved for one kernel application.
+pub struct StateFrame {
+    /// Timestamp the frame belongs to (LIFO assertion aid).
+    pub t: usize,
+    /// Saved forward *input* tensors (State-Stack entries proper), in
+    /// `BackwardPlan::node_saves` Input order.
+    pub inputs: Vec<Tensor>,
+    /// Saved computed node-space values, in `node_saves` Value order.
+    pub node_values: Vec<Tensor>,
+    /// Saved computed edge-space values, in `edge_saves` order.
+    pub edge_values: Vec<Tensor>,
+}
+
+impl StateFrame {
+    /// Total bytes of tensor payload in this frame.
+    pub fn bytes(&self) -> usize {
+        self.inputs
+            .iter()
+            .chain(&self.node_values)
+            .chain(&self.edge_values)
+            .map(|t| t.numel() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+/// The State Stack with push/pop accounting.
+#[derive(Default)]
+pub struct StateStack {
+    frames: Vec<StateFrame>,
+    pushes: usize,
+    pops: usize,
+    peak_depth: usize,
+}
+
+impl StateStack {
+    /// An empty stack.
+    pub fn new() -> StateStack {
+        StateStack::default()
+    }
+
+    /// Pushes a frame (forward pass).
+    pub fn push(&mut self, frame: StateFrame) {
+        self.frames.push(frame);
+        self.pushes += 1;
+        self.peak_depth = self.peak_depth.max(self.frames.len());
+    }
+
+    /// Pops the top frame (backward pass), asserting it belongs to `t`.
+    pub fn pop(&mut self, t: usize) -> StateFrame {
+        let frame = self.frames.pop().unwrap_or_else(|| {
+            panic!("State Stack underflow at timestamp {t}: backward without matching forward")
+        });
+        assert_eq!(
+            frame.t, t,
+            "State Stack LIFO violation: popped frame for t={} while backward is at t={t}",
+            frame.t
+        );
+        self.pops += 1;
+        frame
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Deepest the stack has been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// `(pushes, pops)` so far — they must balance after every sequence.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.pushes, self.pops)
+    }
+
+    /// Total saved-tensor bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.frames.iter().map(StateFrame::bytes).sum()
+    }
+}
+
+/// The Graph Stack: timestamps of snapshots used by forward applications.
+#[derive(Default)]
+pub struct GraphStack {
+    stack: Vec<usize>,
+    pushes: usize,
+    peak_depth: usize,
+}
+
+impl GraphStack {
+    /// An empty stack.
+    pub fn new() -> GraphStack {
+        GraphStack::default()
+    }
+
+    /// Records that a forward application ran on snapshot `t`.
+    pub fn push(&mut self, t: usize) {
+        self.stack.push(t);
+        self.pushes += 1;
+        self.peak_depth = self.peak_depth.max(self.stack.len());
+    }
+
+    /// Pops the timestamp for the next backward application.
+    pub fn pop(&mut self) -> usize {
+        self.stack.pop().expect("Graph Stack underflow")
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Deepest the stack has been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Total pushes so far.
+    pub fn pushes(&self) -> usize {
+        self.pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(t: usize) -> StateFrame {
+        StateFrame {
+            t,
+            inputs: vec![Tensor::zeros((2, 3))],
+            node_values: vec![],
+            edge_values: vec![Tensor::zeros((4, 1))],
+        }
+    }
+
+    #[test]
+    fn lifo_roundtrip_and_stats() {
+        let mut s = StateStack::new();
+        s.push(frame(0));
+        s.push(frame(1));
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.bytes(), 2 * (6 + 4) * 4);
+        let f = s.pop(1);
+        assert_eq!(f.t, 1);
+        s.pop(0);
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.peak_depth(), 2);
+        assert_eq!(s.counts(), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO violation")]
+    fn out_of_order_pop_panics() {
+        let mut s = StateStack::new();
+        s.push(frame(0));
+        s.push(frame(1));
+        s.pop(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn empty_pop_panics() {
+        StateStack::new().pop(0);
+    }
+
+    #[test]
+    fn graph_stack_tracks_depth() {
+        let mut g = GraphStack::new();
+        g.push(3);
+        g.push(4);
+        assert_eq!(g.pop(), 4);
+        assert_eq!(g.pop(), 3);
+        assert_eq!(g.peak_depth(), 2);
+        assert_eq!(g.pushes(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! # stgraph-dyngraph
+//!
+//! Discrete-time dynamic graphs for STGraph: the common [`DtdgSource`]
+//! (including the paper's windowed snapshot builder), the [`DtdgGraph`]
+//! on-demand snapshot interface, and its two implementations —
+//! [`NaiveGraph`] (all snapshots precomputed, §V.C) and [`GpmaGraph`]
+//! (base graph + temporal updates in a GPMA, §V.D).
+
+#![warn(missing_docs)]
+
+pub mod gpma_graph;
+pub mod naive;
+pub mod source;
+
+pub use gpma_graph::GpmaGraph;
+pub use naive::NaiveGraph;
+pub use source::{DtdgGraph, DtdgSource, UpdateBatch};

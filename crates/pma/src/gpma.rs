@@ -1,0 +1,281 @@
+//! GPMA: the PMA specialised to graph adjacency (§V.D).
+//!
+//! Edges `(src, dst)` are stored as `u64` keys `(src << 32) | dst`, so the
+//! PMA's sorted order groups each vertex's out-neighbours contiguously. The
+//! value slot carries the edge id, rewritten by [`Gpma::relabel_edges`]
+//! after every update batch (Algorithm 2, line 8). [`Gpma::csr_view`]
+//! materialises the gapped CSR arrays (`row_offset`, `col_indices` with
+//! `SPACE` holes, `eids`) that the backward kernel consumes directly and
+//! that Algorithm 3 turns into the dense reverse CSR for the forward pass.
+
+use crate::pma::{Pma, EMPTY};
+use stgraph_graph::csr::{Csr, SPACE};
+
+/// Packs an edge into its PMA key.
+#[inline]
+pub fn edge_key(src: u32, dst: u32) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
+/// Unpacks a PMA key into `(src, dst)`.
+#[inline]
+pub fn key_edge(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// A dynamic graph stored as a GPMA.
+///
+/// ```
+/// use stgraph_pma::Gpma;
+///
+/// let mut g = Gpma::from_edges(4, &[(0, 1), (1, 2)]);
+/// g.insert_edges(&[(2, 3)]);
+/// g.delete_edges(&[(0, 1)]);
+/// g.relabel_edges();
+/// assert_eq!(g.edges(), vec![(1, 2), (2, 3)]);
+/// let (csr, in_degrees) = g.csr_view();
+/// assert_eq!(csr.num_edges(), 2);
+/// assert_eq!(in_degrees, vec![0, 0, 1, 1]);
+/// ```
+pub struct Gpma {
+    pma: Pma,
+    num_nodes: usize,
+}
+
+impl Gpma {
+    /// An empty graph over `num_nodes` vertices.
+    pub fn new(num_nodes: usize) -> Gpma {
+        Gpma { pma: Pma::new(), num_nodes }
+    }
+
+    /// Builds a graph from an initial (base) edge list and labels its edges.
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Gpma {
+        let mut g = Gpma::new(num_nodes);
+        g.insert_edges(edges);
+        g.relabel_edges();
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges currently stored.
+    pub fn num_edges(&self) -> usize {
+        self.pma.len()
+    }
+
+    /// Bytes charged for the PMA arrays.
+    pub fn bytes(&self) -> usize {
+        self.pma.bytes()
+    }
+
+    /// Access to the underlying PMA (tests, invariant checks).
+    pub fn pma(&self) -> &Pma {
+        &self.pma
+    }
+
+    /// Batch edge insertion (duplicates of existing edges are no-ops apart
+    /// from the value overwrite; edge ids are stale until relabelled).
+    pub fn insert_edges(&mut self, edges: &[(u32, u32)]) {
+        let items: Vec<(u64, u32)> =
+            edges.iter().map(|&(s, d)| (edge_key(s, d), u32::MAX)).collect();
+        self.pma.insert_batch(&items);
+    }
+
+    /// Batch edge deletion (absent edges are ignored).
+    pub fn delete_edges(&mut self, edges: &[(u32, u32)]) {
+        let keys: Vec<u64> = edges.iter().map(|&(s, d)| edge_key(s, d)).collect();
+        self.pma.delete_batch(&keys);
+    }
+
+    /// Reassigns edge ids `0..m` in sorted slot order — the relabelling step
+    /// required after structural updates so forward and backward CSRs agree
+    /// on labels (§V.B item 3, Algorithm 2 line 8). Returns the edge count.
+    pub fn relabel_edges(&mut self) -> usize {
+        let keys: Vec<u64> = self.pma.key_slots().to_vec();
+        let vals = self.pma.value_slots_mut();
+        let mut eid = 0u32;
+        for (i, &k) in keys.iter().enumerate() {
+            if k != EMPTY {
+                vals[i] = eid;
+                eid += 1;
+            }
+        }
+        eid as usize
+    }
+
+    /// Lists edges in sorted order (tests / snapshot comparison).
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        self.pma.iter().map(|(k, _)| key_edge(k)).collect()
+    }
+
+    /// True if the edge is present.
+    pub fn has_edge(&self, src: u32, dst: u32) -> bool {
+        self.pma.contains(edge_key(src, dst))
+    }
+
+    /// A deep copy with its own memory charge (the Algorithm-2 cache).
+    pub fn clone_state(&self) -> Gpma {
+        let items: Vec<(u64, u32)> = self.pma.iter().collect();
+        Gpma { pma: Pma::from_sorted(&items), num_nodes: self.num_nodes }
+    }
+
+    /// Materialises the gapped out-CSR over the current PMA slots, plus the
+    /// in-degree array needed by Algorithm 3.
+    ///
+    /// `row_offset[v]` is the first slot whose key has `src >= v`; slots in
+    /// a row range that hold [`SPACE`] are the PMA's insertion gaps and are
+    /// skipped by every kernel.
+    pub fn csr_view(&self) -> (Csr, Vec<u32>) {
+        let n = self.num_nodes;
+        let cap = self.pma.capacity();
+        let keys = self.pma.key_slots();
+        let vals = self.pma.value_slots();
+
+        let mut col_indices = vec![SPACE; cap];
+        let mut eids = vec![0u32; cap];
+        let mut row_offset = vec![cap; n + 1];
+        let mut in_deg = vec![0u32; n];
+        let mut next_row = 0usize; // first vertex whose offset is unassigned
+        for i in 0..cap {
+            let k = keys[i];
+            if k == EMPTY {
+                continue;
+            }
+            let (s, d) = key_edge(k);
+            debug_assert!((s as usize) < n && (d as usize) < n, "edge out of range");
+            while next_row <= s as usize {
+                row_offset[next_row] = i;
+                next_row += 1;
+            }
+            col_indices[i] = d;
+            eids[i] = vals[i];
+            in_deg[d as usize] += 1;
+        }
+        while next_row <= n {
+            row_offset[next_row] = cap;
+            next_row += 1;
+        }
+        row_offset[0] = 0;
+        (Csr::from_parts(row_offset, col_indices, eids), in_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeSet;
+    use stgraph_graph::base::{STGraphBase, Snapshot};
+    use stgraph_graph::csr::{reverse_csr_sequential, same_rows};
+
+    #[test]
+    fn key_packing_roundtrip() {
+        assert_eq!(key_edge(edge_key(3, 9)), (3, 9));
+        assert_eq!(key_edge(edge_key(0, 0)), (0, 0));
+        assert_eq!(key_edge(edge_key(u32::MAX - 1, 7)), (u32::MAX - 1, 7));
+        // Keys order by src first, dst second.
+        assert!(edge_key(1, 9) < edge_key(2, 0));
+        assert!(edge_key(1, 3) < edge_key(1, 4));
+    }
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut g = Gpma::new(5);
+        g.insert_edges(&[(0, 1), (2, 3), (1, 4)]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(2, 3));
+        g.delete_edges(&[(2, 3), (4, 4)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(2, 3));
+        assert_eq!(g.edges(), vec![(0, 1), (1, 4)]);
+    }
+
+    #[test]
+    fn relabel_assigns_sequential_ids() {
+        let mut g = Gpma::from_edges(4, &[(2, 1), (0, 3), (1, 0)]);
+        let m = g.relabel_edges();
+        assert_eq!(m, 3);
+        let (csr, _) = g.csr_view();
+        let mut labels: Vec<u32> = csr.triples().iter().map(|&(_, _, e)| e).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 1, 2]);
+        // Sorted slot order means eid order follows (src, dst) order.
+        let triples = csr.triples();
+        assert_eq!(triples, vec![(0, 3, 0), (1, 0, 1), (2, 1, 2)]);
+    }
+
+    #[test]
+    fn csr_view_matches_edge_list() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 60u32;
+        let mut set = BTreeSet::new();
+        while set.len() < 700 {
+            set.insert((rng.gen_range(0..n), rng.gen_range(0..n)));
+        }
+        let edges: Vec<(u32, u32)> = set.iter().copied().collect();
+        let g = Gpma::from_edges(n as usize, &edges);
+        let (csr, in_deg) = g.csr_view();
+        assert_eq!(csr.num_edges(), edges.len());
+        let got: Vec<(u32, u32)> = csr.triples().iter().map(|&(s, d, _)| (s, d)).collect();
+        assert_eq!(got, edges, "CSR triples must be the sorted edge list");
+        // in-degrees agree with a manual count.
+        let mut manual = vec![0u32; n as usize];
+        for &(_, d) in &edges {
+            manual[d as usize] += 1;
+        }
+        assert_eq!(in_deg, manual);
+    }
+
+    #[test]
+    fn gapped_view_reverses_correctly() {
+        // End-to-end: GPMA -> gapped CSR -> Algorithm-3 reverse == oracle.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 40u32;
+        let mut g = Gpma::new(n as usize);
+        let mut set = BTreeSet::new();
+        for _ in 0..5 {
+            let batch: Vec<(u32, u32)> =
+                (0..300).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+            g.insert_edges(&batch);
+            set.extend(batch);
+            g.pma().check_invariants();
+        }
+        g.relabel_edges();
+        let (csr, in_deg) = g.csr_view();
+        let snap = Snapshot::from_csr(csr);
+        assert_eq!(snap.in_degrees.as_slice(), &in_deg[..]);
+        let (csr2, _) = g.csr_view();
+        let oracle = reverse_csr_sequential(&csr2, n as usize);
+        assert!(same_rows(&snap.reverse_csr, &oracle));
+        assert_eq!(snap.num_edges(), set.len());
+    }
+
+    #[test]
+    fn clone_state_is_independent() {
+        let mut g = Gpma::from_edges(4, &[(0, 1), (1, 2)]);
+        let cache = g.clone_state();
+        g.insert_edges(&[(2, 3)]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(cache.num_edges(), 2);
+        assert!(!cache.has_edge(2, 3));
+    }
+
+    #[test]
+    fn empty_rows_get_consistent_offsets() {
+        let g = Gpma::from_edges(6, &[(4, 0)]);
+        let (csr, _) = g.csr_view();
+        assert_eq!(csr.num_edges(), 1);
+        for v in 0..6 {
+            let row: Vec<_> = csr.iter_row(v).collect();
+            if v == 4 {
+                assert_eq!(row.len(), 1);
+            } else {
+                assert!(row.is_empty(), "vertex {v} should have no edges");
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # stgraph-pma
+//!
+//! The GPMA substrate (Sha et al., VLDB'17) STGraph builds DTDG snapshots
+//! from: a density-bounded Packed Memory Array with batch insert/delete,
+//! specialised to graph adjacency with gapped-CSR views and edge
+//! relabelling.
+
+#![warn(missing_docs)]
+
+pub mod gpma;
+pub mod pma;
+
+pub use gpma::{edge_key, key_edge, Gpma};
+pub use pma::{Pma, EMPTY};

@@ -1,0 +1,18 @@
+//! # stgraph-seastar
+//!
+//! The vertex-centric programming model STGraph extends (§IV): programs are
+//! traced into an IR DAG ([`ir::ProgramBuilder`]), optimised (dead-code
+//! elimination; edge-space fusion is structural — edge values never
+//! materialise), auto-differentiated ([`autodiff::differentiate`], which
+//! also derives the State-Stack saved set), and executed as fused
+//! vertex-parallel kernels over degree-sorted CSRs ([`exec::execute`]).
+
+#![warn(missing_docs)]
+
+pub mod autodiff;
+pub mod exec;
+pub mod ir;
+
+pub use autodiff::{differentiate, BackwardPlan, NodeSave};
+pub use exec::{execute, ExecOutput};
+pub use ir::{gat_aggregation, gcn_aggregation, Program, ProgramBuilder, Val};

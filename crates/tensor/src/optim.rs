@@ -1,0 +1,226 @@
+//! First-order optimizers over a [`ParamSet`]: SGD (with optional momentum)
+//! and Adam — the paper's TGCN experiments train with PyTorch's Adam
+//! defaults, which we replicate here.
+
+use crate::nn::ParamSet;
+use crate::tensor::Tensor;
+
+/// Clips the global L2 norm of all gradients in `params` to `max_norm`
+/// (PyTorch's `clip_grad_norm_`), returning the pre-clip norm. Essential
+/// for stable BPTT through long sequences.
+pub fn clip_grad_norm(params: &ParamSet, max_norm: f32) -> f32 {
+    let total_sq: f32 = params
+        .iter()
+        .map(|p| p.grad().data().iter().map(|g| g * g).sum::<f32>())
+        .sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter() {
+            p.set_grad(p.grad().mul_scalar(scale));
+        }
+    }
+    norm
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+pub struct Sgd {
+    params: ParamSet,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(params: ParamSet, lr: f32) -> Sgd {
+        Sgd::with_momentum(params, lr, 0.0)
+    }
+
+    /// SGD with momentum `mu` (0 disables).
+    pub fn with_momentum(params: ParamSet, lr: f32, momentum: f32) -> Sgd {
+        let velocity = params.iter().map(|p| Tensor::zeros(p.value().shape())).collect();
+        Sgd { params, lr, momentum, velocity }
+    }
+
+    /// Applies one update from the accumulated gradients.
+    pub fn step(&mut self) {
+        for (i, p) in self.params.iter().enumerate() {
+            let g = p.grad();
+            let update = if self.momentum != 0.0 {
+                let v = self.velocity[i].mul_scalar(self.momentum).add(&g);
+                self.velocity[i] = v.clone();
+                v
+            } else {
+                g
+            };
+            p.set_value(p.value().sub(&update.mul_scalar(self.lr)));
+        }
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&self) {
+        self.params.zero_grad();
+    }
+}
+
+/// Adam (Kingma & Ba) with PyTorch's default hyperparameters.
+pub struct Adam {
+    params: ParamSet,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with default betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(params: ParamSet, lr: f32) -> Adam {
+        Adam::with_betas(params, lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit hyperparameters.
+    pub fn with_betas(params: ParamSet, lr: f32, beta1: f32, beta2: f32, eps: f32) -> Adam {
+        let m = params.iter().map(|p| Tensor::zeros(p.value().shape())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(p.value().shape())).collect();
+        Adam { params, lr, beta1, beta2, eps, t: 0, m, v }
+    }
+
+    /// Applies one Adam update from the accumulated gradients.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let g = p.grad();
+            self.m[i] = self.m[i].mul_scalar(self.beta1).add(&g.mul_scalar(1.0 - self.beta1));
+            self.v[i] =
+                self.v[i].mul_scalar(self.beta2).add(&g.square().mul_scalar(1.0 - self.beta2));
+            let mhat = self.m[i].mul_scalar(1.0 / bc1);
+            let vhat = self.v[i].mul_scalar(1.0 / bc2);
+            let denom = vhat.sqrt().add_scalar(self.eps);
+            p.set_value(p.value().sub(&mhat.div(&denom).mul_scalar(self.lr)));
+        }
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&self) {
+        self.params.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Tape;
+    use crate::nn::ParamSet;
+
+    /// Minimise f(w) = (w - 3)^2 elementwise; both optimizers must converge.
+    fn run<F: FnMut()>(param_value: &Tensor, mut step: F, read: impl Fn() -> Tensor) -> f32 {
+        let _ = param_value;
+        for _ in 0..200 {
+            step();
+        }
+        read().data().iter().map(|&w| (w - 3.0).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only_when_needed() {
+        let mut ps = ParamSet::new();
+        let a = ps.register("a", Tensor::zeros(2));
+        let b = ps.register("b", Tensor::zeros(1));
+        // Set grads via a tape: loss = 3*a0 + 4*b0 => grads [3,0] and [4].
+        let tape = Tape::new();
+        let av = tape.param(&a);
+        let bv = tape.param(&b);
+        let mask = tape.constant(Tensor::from_vec(2, vec![3.0, 0.0]));
+        let loss = av.mul(&mask).sum().add(&bv.mul_scalar(4.0).sum());
+        tape.backward(&loss);
+        let norm = clip_grad_norm(&ps, 2.5);
+        assert!((norm - 5.0).abs() < 1e-5, "pre-clip norm {norm}");
+        // Post-clip norm == 2.5: grads scaled by 0.5.
+        assert!((a.grad().to_vec()[0] - 1.5).abs() < 1e-5);
+        assert!((b.grad().to_vec()[0] - 2.0).abs() < 1e-5);
+        // Under the limit: untouched.
+        let norm2 = clip_grad_norm(&ps, 100.0);
+        assert!((norm2 - 2.5).abs() < 1e-5);
+        assert!((a.grad().to_vec()[0] - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::from_vec(3, vec![0.0, 10.0, -4.0]));
+        let mut opt = Sgd::new(ps, 0.1);
+        let err = run(
+            &w.value(),
+            || {
+                opt.zero_grad();
+                let tape = Tape::new();
+                let wv = tape.param(&w);
+                let loss = wv.add_scalar(-3.0).square().sum();
+                tape.backward(&loss);
+                opt.step();
+            },
+            || w.value(),
+        );
+        assert!(err < 1e-3, "sgd residual {err}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::from_vec(2, vec![8.0, -8.0]));
+        let mut opt = Sgd::with_momentum(ps, 0.05, 0.9);
+        let err = run(
+            &w.value(),
+            || {
+                opt.zero_grad();
+                let tape = Tape::new();
+                let wv = tape.param(&w);
+                let loss = wv.add_scalar(-3.0).square().sum();
+                tape.backward(&loss);
+                opt.step();
+            },
+            || w.value(),
+        );
+        assert!(err < 1e-2, "momentum residual {err}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::from_vec(3, vec![0.0, 10.0, -4.0]));
+        let mut opt = Adam::new(ps, 0.3);
+        let err = run(
+            &w.value(),
+            || {
+                opt.zero_grad();
+                let tape = Tape::new();
+                let wv = tape.param(&w);
+                let loss = wv.add_scalar(-3.0).square().sum();
+                tape.backward(&loss);
+                opt.step();
+            },
+            || w.value(),
+        );
+        assert!(err < 1e-2, "adam residual {err}");
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, the first Adam step is ~lr * sign(g).
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::from_vec(1, vec![5.0]));
+        let mut opt = Adam::new(ps, 0.1);
+        let tape = Tape::new();
+        let wv = tape.param(&w);
+        let loss = wv.sum();
+        tape.backward(&loss);
+        opt.step();
+        assert!((w.value().item() - 4.9).abs() < 1e-4);
+    }
+}

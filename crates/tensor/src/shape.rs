@@ -1,0 +1,108 @@
+//! Tensor shapes. The workloads in this reproduction are rank-1 and rank-2
+//! (node-feature matrices `[n, f]`, weight matrices, per-edge vectors), so
+//! `Shape` is a thin wrapper over up to two dimensions with the index math
+//! the kernels need.
+
+/// Shape of a tensor: scalar (rank 0), vector (rank 1) or matrix (rank 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// A single number.
+    Scalar,
+    /// A vector of length `n`.
+    Vec(usize),
+    /// A row-major `rows x cols` matrix.
+    Mat(usize, usize),
+}
+
+impl Shape {
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vec(n) => n,
+            Shape::Mat(r, c) => r * c,
+        }
+    }
+
+    /// Number of rows when viewed as a matrix (`1` for scalars, `n` for
+    /// vectors treated as column shape `[n, 1]`... vectors are treated as a
+    /// single row of width `n` nowhere; see [`Shape::as_mat`]).
+    pub fn rows(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vec(n) => n,
+            Shape::Mat(r, _) => r,
+        }
+    }
+
+    /// Number of columns when viewed as a matrix.
+    pub fn cols(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vec(_) => 1,
+            Shape::Mat(_, c) => c,
+        }
+    }
+
+    /// Interprets the shape as `(rows, cols)`; vectors are column vectors
+    /// `[n, 1]`, scalars are `[1, 1]`.
+    pub fn as_mat(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// Rank of the shape (0, 1 or 2).
+    pub fn rank(&self) -> usize {
+        match self {
+            Shape::Scalar => 0,
+            Shape::Vec(_) => 1,
+            Shape::Mat(_, _) => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shape::Scalar => write!(f, "[]"),
+            Shape::Vec(n) => write!(f, "[{n}]"),
+            Shape::Mat(r, c) => write!(f, "[{r}, {c}]"),
+        }
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(n: usize) -> Shape {
+        Shape::Vec(n)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((r, c): (usize, usize)) -> Shape {
+        Shape::Mat(r, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_dims() {
+        assert_eq!(Shape::Scalar.numel(), 1);
+        assert_eq!(Shape::Vec(7).numel(), 7);
+        assert_eq!(Shape::Mat(3, 4).numel(), 12);
+        assert_eq!(Shape::Mat(3, 4).rows(), 3);
+        assert_eq!(Shape::Mat(3, 4).cols(), 4);
+        assert_eq!(Shape::Vec(5).as_mat(), (5, 1));
+        assert_eq!(Shape::Scalar.rank(), 0);
+        assert_eq!(Shape::Vec(1).rank(), 1);
+        assert_eq!(Shape::Mat(1, 1).rank(), 2);
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Shape::Mat(2, 3).to_string(), "[2, 3]");
+        assert_eq!(Shape::from(4), Shape::Vec(4));
+        assert_eq!(Shape::from((2, 2)), Shape::Mat(2, 2));
+    }
+}

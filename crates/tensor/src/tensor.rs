@@ -1,0 +1,699 @@
+//! Dense, immutable `f32` tensors backed by tracked buffers.
+//!
+//! Every operation is a "kernel": a pure function producing a fresh tensor,
+//! executed data-parallel with rayon when the element count justifies it.
+//! This is the stand-in for the CUDA device in the paper — the work
+//! decomposition (vertex-/row-parallel loops, atomic scatter) mirrors what
+//! the generated kernels do on a GPU.
+
+use crate::mem::TrackedBuf;
+use crate::shape::Shape;
+use rand::Rng;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Below this element count kernels run sequentially: thread hand-off costs
+/// more than the loop.
+pub const PAR_MIN: usize = 1 << 12;
+
+/// A dense row-major `f32` tensor. Cheap to clone (shared storage).
+#[derive(Clone)]
+pub struct Tensor {
+    buf: Arc<TrackedBuf>,
+    shape: Shape,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = self.data();
+        let head: Vec<f32> = d.iter().take(8).copied().collect();
+        write!(f, "Tensor{}{:?}{}", self.shape, head, if d.len() > 8 { "…" } else { "" })
+    }
+}
+
+impl Tensor {
+    // ---------- constructors ----------
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        Tensor { buf: Arc::new(TrackedBuf::zeros(shape.numel())), shape }
+    }
+
+    /// A tensor filled with `v`.
+    pub fn full(shape: impl Into<Shape>, v: f32) -> Tensor {
+        let shape = shape.into();
+        Tensor { buf: Arc::new(TrackedBuf::from_vec(vec![v; shape.numel()])), shape }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// A rank-0 tensor holding `v`.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor { buf: Arc::new(TrackedBuf::from_vec(vec![v])), shape: Shape::Scalar }
+    }
+
+    /// Builds a tensor from an explicit element vector (row-major).
+    ///
+    /// # Panics
+    /// If `data.len() != shape.numel()`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(data.len(), shape.numel(), "from_vec: data length vs shape {shape}");
+        Tensor { buf: Arc::new(TrackedBuf::from_vec(data)), shape }
+    }
+
+    /// Uniform random tensor in `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { buf: Arc::new(TrackedBuf::from_vec(data)), shape }
+    }
+
+    /// Glorot/Xavier-uniform initialisation for a `[fan_in, fan_out]` weight.
+    pub fn glorot(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform((fan_in, fan_out), -limit, limit, rng)
+    }
+
+    // ---------- accessors ----------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Rows when viewed as a matrix.
+    pub fn rows(&self) -> usize {
+        self.shape.rows()
+    }
+
+    /// Columns when viewed as a matrix.
+    pub fn cols(&self) -> usize {
+        self.shape.cols()
+    }
+
+    /// Raw row-major element slice.
+    pub fn data(&self) -> &[f32] {
+        self.buf.as_slice()
+    }
+
+    /// Element at `(r, c)` under matrix view.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data()[r * self.cols() + c]
+    }
+
+    /// The single element of a scalar tensor.
+    ///
+    /// # Panics
+    /// If the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on non-scalar tensor {}", self.shape);
+        self.data()[0]
+    }
+
+    /// Copies the elements out.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data().to_vec()
+    }
+
+    /// Returns a tensor with the same data but a new shape of equal numel.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(shape.numel(), self.numel(), "reshape {} -> {}", self.shape, shape);
+        Tensor { buf: Arc::clone(&self.buf), shape }
+    }
+
+    /// Max absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// True if all elements are within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+
+    // ---------- kernel helpers ----------
+
+    fn unary(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.data();
+        let mut out = TrackedBuf::zeros(src.len());
+        let dst = out.as_mut_slice();
+        if src.len() >= PAR_MIN {
+            dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d = f(s));
+        } else {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = f(s);
+            }
+        }
+        Tensor { buf: Arc::new(out), shape: self.shape }
+    }
+
+    fn binary(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "elementwise op on mismatched shapes {} vs {}",
+            self.shape, other.shape
+        );
+        let a = self.data();
+        let b = other.data();
+        let mut out = TrackedBuf::zeros(a.len());
+        let dst = out.as_mut_slice();
+        if a.len() >= PAR_MIN {
+            dst.par_iter_mut()
+                .zip(a.par_iter().zip(b.par_iter()))
+                .for_each(|(d, (&x, &y))| *d = f(x, y));
+        } else {
+            for i in 0..a.len() {
+                dst[i] = f(a[i], b[i]);
+            }
+        }
+        Tensor { buf: Arc::new(out), shape: self.shape }
+    }
+
+    // ---------- elementwise ----------
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.unary(|x| -x)
+    }
+
+    /// Elementwise sum with a same-shape tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.binary(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.binary(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.binary(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.binary(other, |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.unary(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.unary(|x| x * s)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.unary(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.unary(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.unary(f32::sqrt)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.unary(|x| x * x)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.unary(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.unary(f32::tanh)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.unary(|x| x.max(0.0))
+    }
+
+    /// Leaky ReLU with negative slope `slope`.
+    pub fn leaky_relu(&self, slope: f32) -> Tensor {
+        self.unary(move |x| if x >= 0.0 { x } else { slope * x })
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.unary(move |x| x.clamp(lo, hi))
+    }
+
+    // ---------- linear algebra ----------
+
+    /// Matrix product `self @ other` for `[n,k] x [k,m]`.
+    ///
+    /// Row-parallel with a cache-friendly `ikj` inner order, matching the
+    /// vertex-parallel decomposition of a GPU GEMM over n.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (n, k) = self.shape.as_mat();
+        let (k2, m) = other.shape.as_mat();
+        assert_eq!(k, k2, "matmul {} x {}", self.shape, other.shape);
+        let a = self.data();
+        let b = other.data();
+        let mut out = TrackedBuf::zeros(n * m);
+        let work = n * m * k;
+        let body = |(i, row): (usize, &mut [f32])| {
+            let arow = &a[i * k..(i + 1) * k];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * m..(kk + 1) * m];
+                for (j, &bv) in brow.iter().enumerate() {
+                    row[j] += av * bv;
+                }
+            }
+        };
+        if work >= PAR_MIN {
+            out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(body);
+        } else {
+            out.as_mut_slice().chunks_mut(m).enumerate().for_each(body);
+        }
+        Tensor { buf: Arc::new(out), shape: Shape::Mat(n, m) }
+    }
+
+    /// Matrix transpose (materialised).
+    pub fn transpose(&self) -> Tensor {
+        let (n, m) = self.shape.as_mat();
+        let a = self.data();
+        let mut out = TrackedBuf::zeros(n * m);
+        let dst = out.as_mut_slice();
+        if n * m >= PAR_MIN {
+            dst.par_chunks_mut(n).enumerate().for_each(|(j, col)| {
+                for (i, slot) in col.iter_mut().enumerate() {
+                    *slot = a[i * m + j];
+                }
+            });
+        } else {
+            for i in 0..n {
+                for j in 0..m {
+                    dst[j * n + i] = a[i * m + j];
+                }
+            }
+        }
+        Tensor { buf: Arc::new(out), shape: Shape::Mat(m, n) }
+    }
+
+    // ---------- broadcasts ----------
+
+    /// Adds a length-`cols` bias vector to every row of a matrix.
+    pub fn add_bias(&self, bias: &Tensor) -> Tensor {
+        let (_, m) = self.shape.as_mat();
+        assert_eq!(bias.numel(), m, "add_bias: bias {} vs cols {m}", bias.shape());
+        let b = bias.data();
+        let a = self.data();
+        let mut out = TrackedBuf::zeros(a.len());
+        let dst = out.as_mut_slice();
+        let body = |(_i, (drow, arow)): (usize, (&mut [f32], &[f32]))| {
+            for j in 0..m {
+                drow[j] = arow[j] + b[j];
+            }
+        };
+        if a.len() >= PAR_MIN {
+            dst.par_chunks_mut(m).zip(a.par_chunks(m)).enumerate().for_each(body);
+        } else {
+            dst.chunks_mut(m).zip(a.chunks(m)).enumerate().for_each(body);
+        }
+        Tensor { buf: Arc::new(out), shape: self.shape }
+    }
+
+    /// Scales row `i` of a matrix by `s[i]` (per-node normalisation).
+    pub fn scale_rows(&self, s: &Tensor) -> Tensor {
+        let (n, m) = self.shape.as_mat();
+        assert_eq!(s.numel(), n, "scale_rows: scale {} vs rows {n}", s.shape());
+        let sv = s.data();
+        let a = self.data();
+        let mut out = TrackedBuf::zeros(a.len());
+        let dst = out.as_mut_slice();
+        let body = |(i, (drow, arow)): (usize, (&mut [f32], &[f32]))| {
+            let f = sv[i];
+            for j in 0..m {
+                drow[j] = arow[j] * f;
+            }
+        };
+        if a.len() >= PAR_MIN {
+            dst.par_chunks_mut(m).zip(a.par_chunks(m)).enumerate().for_each(body);
+        } else {
+            dst.chunks_mut(m).zip(a.chunks(m)).enumerate().for_each(body);
+        }
+        Tensor { buf: Arc::new(out), shape: self.shape }
+    }
+
+    /// Repeats a `[n, 1]` column (or `[n]` vector) across `w` columns.
+    pub fn broadcast_col(&self, w: usize) -> Tensor {
+        let n = self.rows();
+        assert_eq!(self.cols(), 1, "broadcast_col takes a single-column tensor");
+        let src = self.data();
+        let mut out = TrackedBuf::zeros(n * w);
+        let dst = out.as_mut_slice();
+        for i in 0..n {
+            dst[i * w..(i + 1) * w].fill(src[i]);
+        }
+        Tensor { buf: Arc::new(out), shape: Shape::Mat(n, w) }
+    }
+
+    // ---------- reductions ----------
+
+    /// Sum of all elements as a scalar tensor.
+    pub fn sum(&self) -> Tensor {
+        let d = self.data();
+        let s: f32 = if d.len() >= PAR_MIN {
+            d.par_chunks(PAR_MIN).map(|c| c.iter().sum::<f32>()).sum()
+        } else {
+            d.iter().sum()
+        };
+        Tensor::scalar(s)
+    }
+
+    /// Mean of all elements as a scalar tensor.
+    pub fn mean(&self) -> Tensor {
+        self.sum().mul_scalar(1.0 / self.numel() as f32)
+    }
+
+    /// Column sums of a matrix, as a `[cols]` vector (bias gradients).
+    pub fn sum_axis0(&self) -> Tensor {
+        let (n, m) = self.shape.as_mat();
+        let a = self.data();
+        let mut acc = vec![0.0f32; m];
+        for i in 0..n {
+            for j in 0..m {
+                acc[j] += a[i * m + j];
+            }
+        }
+        Tensor::from_vec(m, acc)
+    }
+
+    /// Row sums of a matrix, as a `[rows]` vector.
+    pub fn sum_axis1(&self) -> Tensor {
+        let (n, m) = self.shape.as_mat();
+        let a = self.data();
+        let mut acc = vec![0.0f32; n];
+        for (i, slot) in acc.iter_mut().enumerate() {
+            *slot = a[i * m..(i + 1) * m].iter().sum();
+        }
+        Tensor::from_vec(n, acc)
+    }
+
+    // ---------- structural ----------
+
+    /// Concatenates matrices with equal row counts along the column axis.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty());
+        let n = parts[0].rows();
+        for p in parts {
+            assert_eq!(p.rows(), n, "concat_cols: row mismatch");
+        }
+        let total: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut out = TrackedBuf::zeros(n * total);
+        let dst = out.as_mut_slice();
+        let mut off = 0;
+        for p in parts {
+            let m = p.cols();
+            let src = p.data();
+            for i in 0..n {
+                dst[i * total + off..i * total + off + m].copy_from_slice(&src[i * m..(i + 1) * m]);
+            }
+            off += m;
+        }
+        Tensor { buf: Arc::new(out), shape: Shape::Mat(n, total) }
+    }
+
+    /// Extracts columns `lo..hi` of a matrix.
+    pub fn slice_cols(&self, lo: usize, hi: usize) -> Tensor {
+        let (n, m) = self.shape.as_mat();
+        assert!(lo <= hi && hi <= m, "slice_cols {lo}..{hi} of {m}");
+        let w = hi - lo;
+        let a = self.data();
+        let mut out = TrackedBuf::zeros(n * w);
+        let dst = out.as_mut_slice();
+        for i in 0..n {
+            dst[i * w..(i + 1) * w].copy_from_slice(&a[i * m + lo..i * m + hi]);
+        }
+        Tensor { buf: Arc::new(out), shape: Shape::Mat(n, w) }
+    }
+
+    /// Gathers rows by index: `out[e] = self[idx[e]]`.
+    ///
+    /// This is the *edge-parallel* gather that PyG-style frameworks use to
+    /// materialise per-edge source features — the memory overhead the paper
+    /// calls out.
+    pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
+        let (n, m) = self.shape.as_mat();
+        let a = self.data();
+        let mut out = TrackedBuf::zeros(idx.len() * m);
+        let dst = out.as_mut_slice();
+        let body = |(e, row): (usize, &mut [f32])| {
+            let i = idx[e] as usize;
+            debug_assert!(i < n);
+            row.copy_from_slice(&a[i * m..(i + 1) * m]);
+        };
+        if idx.len() * m >= PAR_MIN {
+            dst.par_chunks_mut(m).enumerate().for_each(body);
+        } else {
+            dst.chunks_mut(m).enumerate().for_each(body);
+        }
+        Tensor { buf: Arc::new(out), shape: Shape::Mat(idx.len(), m) }
+    }
+
+    /// Scatter-add of per-edge rows into `n_rows` destination rows:
+    /// `out[idx[e]] += self[e]`, using atomic f32 adds exactly like a GPU
+    /// scatter kernel.
+    pub fn scatter_add_rows(&self, idx: &[u32], n_rows: usize) -> Tensor {
+        let (ne, m) = self.shape.as_mat();
+        assert_eq!(ne, idx.len(), "scatter_add_rows: rows vs indices");
+        let a = self.data();
+        let mut out = TrackedBuf::zeros(n_rows * m);
+        {
+            let dst = out.as_mut_slice();
+            let atomic = as_atomic_f32(dst);
+            let body = |e: usize| {
+                let d = idx[e] as usize;
+                debug_assert!(d < n_rows);
+                let row = &a[e * m..(e + 1) * m];
+                for (j, &v) in row.iter().enumerate() {
+                    atomic_add_f32(&atomic[d * m + j], v);
+                }
+            };
+            if ne * m >= PAR_MIN {
+                (0..ne).into_par_iter().for_each(body);
+            } else {
+                (0..ne).for_each(body);
+            }
+        }
+        Tensor { buf: Arc::new(out), shape: Shape::Mat(n_rows, m) }
+    }
+}
+
+/// Reinterprets a mutable f32 slice as atomics for lock-free scatter adds.
+///
+/// Safety: `AtomicU32` has the same size/alignment as `f32`, the slice is
+/// exclusively borrowed for the lifetime of the returned view, and all
+/// accesses go through atomic operations.
+pub fn as_atomic_f32(s: &mut [f32]) -> &[AtomicU32] {
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const AtomicU32, s.len()) }
+}
+
+/// CAS-loop float add, the CPU analogue of CUDA's `atomicAdd(float*)`.
+pub fn atomic_add_f32(slot: &AtomicU32, v: f32) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(cur) + v).to_bits();
+        match slot.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros((2, 3));
+        assert_eq!(z.shape(), Shape::Mat(2, 3));
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        assert_eq!(Tensor::ones(4).data(), &[1.0; 4]);
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+        let t = Tensor::from_vec((2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.at(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_len_mismatch_panics() {
+        Tensor::from_vec((2, 2), vec![1.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(3, vec![1.0, -2.0, 3.0]);
+        let b = Tensor::from_vec(3, vec![4.0, 5.0, -6.0]);
+        assert_eq!(a.add(&b).to_vec(), vec![5.0, 3.0, -3.0]);
+        assert_eq!(a.sub(&b).to_vec(), vec![-3.0, -7.0, 9.0]);
+        assert_eq!(a.mul(&b).to_vec(), vec![4.0, -10.0, -18.0]);
+        assert_eq!(a.neg().to_vec(), vec![-1.0, 2.0, -3.0]);
+        assert_eq!(a.relu().to_vec(), vec![1.0, 0.0, 3.0]);
+        assert_eq!(a.leaky_relu(0.1).to_vec(), vec![1.0, -0.2, 3.0]);
+        assert_eq!(a.mul_scalar(2.0).to_vec(), vec![2.0, -4.0, 6.0]);
+        assert_eq!(a.clamp(-1.0, 1.0).to_vec(), vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_tanh_values() {
+        let a = Tensor::from_vec(2, vec![0.0, 1.0]);
+        let s = a.sigmoid().to_vec();
+        assert!((s[0] - 0.5).abs() < 1e-6);
+        assert!((s[1] - 0.731_058_6).abs() < 1e-5);
+        let t = a.tanh().to_vec();
+        assert!((t[0]).abs() < 1e-6);
+        assert!((t[1] - 0.761_594_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec((2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec((3, 2), vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_when_parallel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 70;
+        let a = Tensor::rand_uniform((n, n), -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform((n, n), -1.0, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        // Naive triple loop reference.
+        let (av, bv) = (a.data(), b.data());
+        for i in [0usize, 13, 37, 69] {
+            for j in [0usize, 7, 42, 69] {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += av[i * n + k] * bv[k * n + j];
+                }
+                assert!((c.at(i, j) - s).abs() < 1e-3, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = Tensor::rand_uniform((5, 9), -1.0, 1.0, &mut rng);
+        let t = a.transpose();
+        assert_eq!(t.shape(), Shape::Mat(9, 5));
+        assert_eq!(t.at(3, 2), a.at(2, 3));
+        assert!(t.transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn broadcasts() {
+        let a = Tensor::from_vec((2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bias = Tensor::from_vec(3, vec![10.0, 20.0, 30.0]);
+        assert_eq!(a.add_bias(&bias).to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let s = Tensor::from_vec(2, vec![2.0, -1.0]);
+        assert_eq!(a.scale_rows(&s).to_vec(), vec![2.0, 4.0, 6.0, -4.0, -5.0, -6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec((2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.sum().item(), 10.0);
+        assert_eq!(a.mean().item(), 2.5);
+        assert_eq!(a.sum_axis0().to_vec(), vec![4.0, 6.0]);
+        assert_eq!(a.sum_axis1().to_vec(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = Tensor::from_vec((2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec((2, 1), vec![9.0, 8.0]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.to_vec(), vec![1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+        assert_eq!(c.slice_cols(2, 3).to_vec(), vec![9.0, 8.0]);
+        assert_eq!(c.slice_cols(0, 2).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn gather_scatter_inverse_relationship() {
+        let x = Tensor::from_vec((3, 2), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let idx = [2u32, 0, 2];
+        let g = x.gather_rows(&idx);
+        assert_eq!(g.to_vec(), vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = g.scatter_add_rows(&idx, 3);
+        // Row 2 was gathered twice so it doubles; row 1 was never touched.
+        assert_eq!(s.to_vec(), vec![1.0, 2.0, 0.0, 0.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn scatter_add_parallel_matches_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ne = 5000;
+        let n = 64;
+        let m = 4;
+        let idx: Vec<u32> = (0..ne).map(|_| rng.gen_range(0..n as u32)).collect();
+        let x = Tensor::rand_uniform((ne, m), -1.0, 1.0, &mut rng);
+        let par = x.scatter_add_rows(&idx, n);
+        let mut seq = vec![0.0f32; n * m];
+        for e in 0..ne {
+            for j in 0..m {
+                seq[idx[e] as usize * m + j] += x.at(e, j);
+            }
+        }
+        for i in 0..n * m {
+            assert!((par.data()[i] - seq[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn broadcast_col_repeats() {
+        let a = Tensor::from_vec((3, 1), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            a.broadcast_col(3).to_vec(),
+            vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn reshape_shares_storage() {
+        let a = Tensor::from_vec((2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let b = a.reshape(4);
+        assert_eq!(b.shape(), Shape::Vec(4));
+        assert_eq!(b.to_vec(), a.to_vec());
+    }
+}

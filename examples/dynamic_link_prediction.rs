@@ -1,0 +1,75 @@
+//! Link prediction on a discrete-time dynamic graph (sx-mathoverflow-
+//! shaped), contrasting the two DTDG storage strategies of §V:
+//! `NaiveGraph` (every snapshot precomputed — fast access, heavy memory)
+//! and `GPMAGraph` (base graph + temporal updates — snapshots built on
+//! demand, memory stays flat).
+//!
+//! ```sh
+//! cargo run --release --example dynamic_link_prediction
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+use stgraph::backend::create_backend;
+use stgraph::executor::{GraphSource, TemporalExecutor};
+use stgraph::tgnn::Tgcn;
+use stgraph::train::{eval_link_prediction, link_prediction_batches, train_epoch_link_prediction};
+use stgraph_datasets::load_dynamic;
+use stgraph_dyngraph::{DtdgGraph, DtdgSource, GpmaGraph, NaiveGraph};
+use stgraph_tensor::mem;
+use stgraph_tensor::nn::ParamSet;
+use stgraph_tensor::optim::Adam;
+use stgraph_tensor::Tensor;
+
+fn run(name: &str, src: &DtdgSource, provider: Rc<RefCell<dyn DtdgGraph>>) {
+    mem::with_pool(name, || {
+        let exec =
+            TemporalExecutor::new(create_backend("seastar"), GraphSource::Dynamic(provider.clone()));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let cell = Tgcn::new(&mut params, "tgcn", 8, 16, &mut rng);
+        let mut opt = Adam::new(params, 0.01);
+        let feats = Tensor::rand_uniform((src.num_nodes, 8), -1.0, 1.0, &mut rng);
+        let batches = link_prediction_batches(src, 256, 99);
+
+        let start = std::time::Instant::now();
+        let mut loss = 0.0;
+        for _ in 0..5 {
+            loss = train_epoch_link_prediction(&cell, &exec, &mut opt, &feats, &batches, 5);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let upd = provider.borrow_mut().take_update_time().as_secs_f64().min(elapsed);
+        let (_, auc, acc) = eval_link_prediction(&cell, &exec, &feats, &batches, 5);
+        let _ = exec.take_gnn_time();
+        println!(
+            "{name:<16} BCE {loss:.4}  AUC {auc:.3}  acc {acc:.3}  total {elapsed:.2}s  (GNN {:.0}%, updates {:.0}%)  peak {:.1} MiB",
+            100.0 * (elapsed - upd) / elapsed,
+            100.0 * upd / elapsed,
+            mem::stats(name).peak as f64 / (1024.0 * 1024.0)
+        );
+    });
+}
+
+fn main() {
+    // Scale Table II's sx-mathoverflow (24k nodes, 506k events) down 32x,
+    // then window it so consecutive snapshots differ by < 5%.
+    let raw = load_dynamic("sx-mathoverflow", 32);
+    let mut src = DtdgSource::from_temporal_edges(raw.num_nodes, &raw.edges, 5.0);
+    src.snapshots.truncate(15);
+    println!(
+        "DTDG: {} nodes, {} timestamps, ~{} edges per snapshot, mean churn {:.1}%\n",
+        src.num_nodes,
+        src.num_timestamps(),
+        src.snapshots[0].len(),
+        src.mean_pct_change()
+    );
+
+    run("naive", &src, Rc::new(RefCell::new(NaiveGraph::new(&src))));
+    run("gpma", &src, Rc::new(RefCell::new(GpmaGraph::new(&src))));
+    println!(
+        "\n(The GPMA variant trades some per-epoch time for a near-flat memory\n\
+         footprint — the trade-off of the paper's Figures 7 and 8.)"
+    );
+}

@@ -1,0 +1,9 @@
+//! Workspace facade re-exporting the STGraph reproduction crates.
+pub use pygt_baseline as baseline;
+pub use stgraph as core;
+pub use stgraph_datasets as datasets;
+pub use stgraph_dyngraph as dyngraph;
+pub use stgraph_graph as graph;
+pub use stgraph_pma as pma;
+pub use stgraph_seastar as seastar;
+pub use stgraph_tensor as tensor;

@@ -1,0 +1,132 @@
+//! Cross-framework numerical equivalence: STGraph and the PyG-T baseline
+//! implement the same mathematics (identical TGCN gate structure, identical
+//! GCN normalisation, identical parameter initialisation order), so with
+//! the same seed their loss trajectories must match to float tolerance.
+//! This is the property that makes the paper's time/memory comparison
+//! apples-to-apples ("The loss for models compiled with PyG-T and STGraph
+//! are similar over all tests", §VII).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stgraph::backend::create_backend;
+use stgraph::executor::{GraphSource, TemporalExecutor};
+use stgraph::tgnn::Tgcn;
+use stgraph::train::{train_epoch_node_regression, NodeRegressor};
+use stgraph_datasets::load_static;
+use stgraph_graph::base::{STGraphBase, Snapshot};
+use stgraph_tensor::nn::ParamSet;
+use stgraph_tensor::optim::Adam;
+use stgraph_tensor::Tensor;
+
+fn stgraph_losses(backend: &str, ds_name: &str, epochs: usize, seed: u64) -> Vec<f32> {
+    let ds = load_static(ds_name, 4, 12);
+    let snap = Snapshot::from_edges(ds.graph.num_nodes(), &ds.graph.edges);
+    let exec = TemporalExecutor::new(create_backend(backend), GraphSource::Static(snap));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ps = ParamSet::new();
+    let cell = Tgcn::new(&mut ps, "tgcn", 4, 8, &mut rng);
+    let model = NodeRegressor::new(&mut ps, cell, 1, &mut rng);
+    let mut opt = Adam::new(ps, 0.01);
+    (0..epochs)
+        .map(|_| train_epoch_node_regression(&model, &exec, &mut opt, &ds.features, &ds.targets, 6))
+        .collect()
+}
+
+fn baseline_losses(ds_name: &str, epochs: usize, seed: u64) -> Vec<f32> {
+    let ds = load_static(ds_name, 4, 12);
+    let graph = pygt_baseline::CooGraph::new(ds.graph.num_nodes(), &ds.graph.edges);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ps = ParamSet::new();
+    let cell = pygt_baseline::BaselineTgcn::new(&mut ps, "tgcn", 4, 8, &mut rng);
+    let model = pygt_baseline::BaselineRegressor::new(&mut ps, cell, 1, &mut rng);
+    let mut opt = Adam::new(ps, 0.01);
+    (0..epochs)
+        .map(|_| {
+            pygt_baseline::train::train_epoch_node_regression(
+                &model, &graph, &mut opt, &ds.features, &ds.targets, 6,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn stgraph_and_pygt_match_on_chickenpox() {
+    let a = stgraph_losses("seastar", "hungary-chickenpox", 4, 11);
+    let b = baseline_losses("hungary-chickenpox", 4, 11);
+    for (ea, eb) in a.iter().zip(&b) {
+        assert!((ea - eb).abs() < 5e-3 * (1.0 + ea.abs()), "stgraph {ea} vs pygt {eb}");
+    }
+}
+
+#[test]
+fn stgraph_and_pygt_match_on_pedalme() {
+    let a = stgraph_losses("seastar", "pedal-me", 4, 13);
+    let b = baseline_losses("pedal-me", 4, 13);
+    for (ea, eb) in a.iter().zip(&b) {
+        assert!((ea - eb).abs() < 5e-3 * (1.0 + ea.abs()), "stgraph {ea} vs pygt {eb}");
+    }
+}
+
+#[test]
+fn fused_and_reference_backends_train_identically() {
+    let a = stgraph_losses("seastar", "hungary-chickenpox", 3, 17);
+    let b = stgraph_losses("reference", "hungary-chickenpox", 3, 17);
+    for (ea, eb) in a.iter().zip(&b) {
+        assert!((ea - eb).abs() < 1e-3 * (1.0 + ea.abs()), "seastar {ea} vs reference {eb}");
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_initial_weights() {
+    // The equivalence above rests on parameter-creation order matching
+    // exactly; verify it directly.
+    let mut rng_a = ChaCha8Rng::seed_from_u64(5);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(5);
+    let mut ps_a = ParamSet::new();
+    let mut ps_b = ParamSet::new();
+    let _cell_a = Tgcn::new(&mut ps_a, "t", 4, 8, &mut rng_a);
+    let _cell_b = pygt_baseline::BaselineTgcn::new(&mut ps_b, "t", 4, 8, &mut rng_b);
+    assert_eq!(ps_a.len(), ps_b.len());
+    for (pa, pb) in ps_a.iter().zip(ps_b.iter()) {
+        assert_eq!(pa.name(), pb.name());
+        assert!(pa.value().approx_eq(&pb.value(), 0.0), "param {} differs", pa.name());
+    }
+}
+
+#[test]
+fn single_step_outputs_agree_between_frameworks() {
+    // One TGCN step on one graph: outputs equal to float tolerance.
+    let n = 30;
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|i| [(i, (i + 1) % n as u32), (i, (i + 7) % n as u32)])
+        .collect();
+    let x = Tensor::rand_uniform((n, 4), -1.0, 1.0, &mut rng);
+
+    let mut rng_a = ChaCha8Rng::seed_from_u64(31);
+    let mut ps_a = ParamSet::new();
+    let cell_a = Tgcn::new(&mut ps_a, "t", 4, 8, &mut rng_a);
+    let snap = Snapshot::from_edges(n, &edges);
+    let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+    let tape = stgraph_tensor::Tape::new();
+    let xv = tape.constant(x.clone());
+    use stgraph::tgnn::RecurrentCell;
+    let ha = cell_a.step(&tape, &exec, 0, &xv, None);
+
+    let mut rng_b = ChaCha8Rng::seed_from_u64(31);
+    let mut ps_b = ParamSet::new();
+    let cell_b = pygt_baseline::BaselineTgcn::new(&mut ps_b, "t", 4, 8, &mut rng_b);
+    let coo = pygt_baseline::CooGraph::new(n, &edges);
+    let tape_b = stgraph_tensor::Tape::new();
+    let xv_b = tape_b.constant(x);
+    let hb = cell_b.step(&tape_b, &coo, &xv_b, None);
+
+    assert!(
+        ha.value().approx_eq(hb.value(), 1e-4),
+        "max diff {}",
+        ha.value().max_abs_diff(hb.value())
+    );
+    // Drain the executor's stacks.
+    let la = ha.sum();
+    tape.backward(&la);
+}

@@ -1,0 +1,120 @@
+//! Property-based tests on the tensor substrate: algebraic identities the
+//! kernels must satisfy regardless of shape, and the adjoint relationships
+//! the autodiff formulas rely on.
+
+use proptest::prelude::*;
+use stgraph_tensor::Tensor;
+
+fn arb_matrix(max_n: usize, max_m: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_n, 1..=max_m).prop_flat_map(|(n, m)| {
+        prop::collection::vec(-10.0f32..10.0, n * m)
+            .prop_map(move |data| Tensor::from_vec((n, m), data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_an_involution(a in arb_matrix(8, 8)) {
+        prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        (n, k, m) in (1usize..6, 1usize..6, 1usize..6),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform((n, k), -5.0, 5.0, &mut rng);
+        let b = Tensor::rand_uniform((k, m), -5.0, 5.0, &mut rng);
+        // (AB)^T == B^T A^T.
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-3), "diff {}", left.max_abs_diff(&right));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        (n, k, m) in (1usize..6, 1usize..6, 1usize..6),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform((n, k), -5.0, 5.0, &mut rng);
+        let c = Tensor::rand_uniform((n, k), -5.0, 5.0, &mut rng);
+        let w = Tensor::rand_uniform((k, m), -2.0, 2.0, &mut rng);
+        let left = a.add(&c).matmul(&w);
+        let right = a.matmul(&w).add(&c.matmul(&w));
+        prop_assert!(left.approx_eq(&right, 1e-3));
+    }
+
+    #[test]
+    fn gather_scatter_adjointness(
+        x_data in prop::collection::vec(-5.0f32..5.0, 18),
+        idx in prop::collection::vec(0u32..6, 1..20),
+        seed in any::<u64>(),
+    ) {
+        // <scatter(y), x> == <y, gather(x)> — the adjoint pair used by the
+        // autodiff rules for edge-parallel ops.
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let x = Tensor::from_vec((6, 3), x_data);
+        let y = Tensor::rand_uniform((idx.len(), 3), -5.0, 5.0, &mut rng);
+        let lhs = y.scatter_add_rows(&idx, 6).mul(&x).sum().item();
+        let rhs = y.mul(&x.gather_rows(&idx)).sum().item();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn sum_axis_decompositions_agree(a in arb_matrix(7, 5)) {
+        let total = a.sum().item();
+        let by_rows: f32 = a.sum_axis1().data().iter().sum();
+        let by_cols: f32 = a.sum_axis0().data().iter().sum();
+        prop_assert!((total - by_rows).abs() < 1e-2 * (1.0 + total.abs()));
+        prop_assert!((total - by_cols).abs() < 1e-2 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrips(a in arb_matrix(4, 3), wb in 1usize..4, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let b = Tensor::rand_uniform((a.rows(), wb), -5.0, 5.0, &mut rng);
+        let cat = Tensor::concat_cols(&[&a, &b]);
+        prop_assert!(cat.slice_cols(0, a.cols()).approx_eq(&a, 0.0));
+        prop_assert!(cat.slice_cols(a.cols(), a.cols() + b.cols()).approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn scale_rows_equals_diag_matmul(a in arb_matrix(5, 4), s in prop::collection::vec(-3.0f32..3.0, 5)) {
+        prop_assume!(s.len() >= a.rows());
+        let sv = Tensor::from_vec(a.rows(), s[..a.rows()].to_vec());
+        let scaled = a.scale_rows(&sv);
+        // Oracle: D a with D = diag(s).
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                let want = sv.data()[i] * a.at(i, j);
+                prop_assert!((scaled.at(i, j) - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_tanh_relationship(a in arb_matrix(4, 4)) {
+        // tanh(x) == 2*sigmoid(2x) - 1.
+        let lhs = a.tanh();
+        let rhs = a.mul_scalar(2.0).sigmoid().mul_scalar(2.0).add_scalar(-1.0);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4), "diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn broadcast_col_matches_manual(a in arb_matrix(6, 1), w in 1usize..6) {
+        let b = a.broadcast_col(w);
+        for i in 0..a.rows() {
+            for j in 0..w {
+                prop_assert_eq!(b.at(i, j), a.at(i, 0));
+            }
+        }
+    }
+}
