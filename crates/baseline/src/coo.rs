@@ -42,8 +42,10 @@ impl CooGraph {
             src.push(v);
             dst.push(v);
         }
-        let norm: Vec<f32> =
-            in_deg.iter().map(|&d| 1.0 / ((1.0 + d as f32).sqrt())).collect();
+        let norm: Vec<f32> = in_deg
+            .iter()
+            .map(|&d| 1.0 / ((1.0 + d as f32).sqrt()))
+            .collect();
         let weights: Vec<f32> = src
             .iter()
             .zip(&dst)

@@ -54,7 +54,9 @@ impl BaselineGcnConv {
         out_features: usize,
         rng: &mut impl Rng,
     ) -> BaselineGcnConv {
-        BaselineGcnConv { linear: Linear::new(params, name, in_features, out_features, true, rng) }
+        BaselineGcnConv {
+            linear: Linear::new(params, name, in_features, out_features, true, rng),
+        }
     }
 
     /// Applies the layer on `graph`.
@@ -97,12 +99,51 @@ impl BaselineTgcn {
         rng: &mut impl Rng,
     ) -> BaselineTgcn {
         BaselineTgcn {
-            conv_z: BaselineGcnConv::new(params, &format!("{name}.conv_z"), in_features, hidden, rng),
-            conv_r: BaselineGcnConv::new(params, &format!("{name}.conv_r"), in_features, hidden, rng),
-            conv_h: BaselineGcnConv::new(params, &format!("{name}.conv_h"), in_features, hidden, rng),
-            lin_z: Linear::new(params, &format!("{name}.lin_z"), 2 * hidden, hidden, true, rng),
-            lin_r: Linear::new(params, &format!("{name}.lin_r"), 2 * hidden, hidden, true, rng),
-            lin_h: Linear::new(params, &format!("{name}.lin_h"), 2 * hidden, hidden, true, rng),
+            conv_z: BaselineGcnConv::new(
+                params,
+                &format!("{name}.conv_z"),
+                in_features,
+                hidden,
+                rng,
+            ),
+            conv_r: BaselineGcnConv::new(
+                params,
+                &format!("{name}.conv_r"),
+                in_features,
+                hidden,
+                rng,
+            ),
+            conv_h: BaselineGcnConv::new(
+                params,
+                &format!("{name}.conv_h"),
+                in_features,
+                hidden,
+                rng,
+            ),
+            lin_z: Linear::new(
+                params,
+                &format!("{name}.lin_z"),
+                2 * hidden,
+                hidden,
+                true,
+                rng,
+            ),
+            lin_r: Linear::new(
+                params,
+                &format!("{name}.lin_r"),
+                2 * hidden,
+                hidden,
+                true,
+                rng,
+            ),
+            lin_h: Linear::new(
+                params,
+                &format!("{name}.lin_h"),
+                2 * hidden,
+                hidden,
+                true,
+                rng,
+            ),
             hidden,
         }
     }
@@ -126,12 +167,21 @@ impl BaselineTgcn {
             None => tape.constant(Tensor::zeros((n, self.hidden))),
         };
         let cz = self.conv_z.forward(tape, graph, x);
-        let z = self.lin_z.forward(tape, &Var::concat_cols(&[&cz, &h])).sigmoid();
+        let z = self
+            .lin_z
+            .forward(tape, &Var::concat_cols(&[&cz, &h]))
+            .sigmoid();
         let cr = self.conv_r.forward(tape, graph, x);
-        let r = self.lin_r.forward(tape, &Var::concat_cols(&[&cr, &h])).sigmoid();
+        let r = self
+            .lin_r
+            .forward(tape, &Var::concat_cols(&[&cr, &h]))
+            .sigmoid();
         let ch = self.conv_h.forward(tape, graph, x);
         let rh = r.mul(&h);
-        let htilde = self.lin_h.forward(tape, &Var::concat_cols(&[&ch, &rh])).tanh();
+        let htilde = self
+            .lin_h
+            .forward(tape, &Var::concat_cols(&[&ch, &rh]))
+            .tanh();
         z.mul(&h).add(&z.one_minus().mul(&htilde))
     }
 }
@@ -158,10 +208,10 @@ mod tests {
         // Oracle: for each edge (incl. loops) out[dst] += w * x[src].
         let mut want = vec![0.0f32; 15];
         let w = g.edge_norm.data();
-        for e in 0..g.num_edges_with_loops() {
-            let (u, v) = (g.src[e] as usize, g.dst[e] as usize);
+        for ((&u, &v), &we) in g.src.iter().zip(g.dst.iter()).zip(w.iter()) {
+            let (u, v) = (u as usize, v as usize);
             for j in 0..3 {
-                want[v * 3 + j] += w[e] * x.at(u, j);
+                want[v * 3 + j] += we * x.at(u, j);
             }
         }
         assert!(y.value().approx_eq(&Tensor::from_vec((5, 3), want), 1e-5));
@@ -224,7 +274,10 @@ mod tests {
             drop(y);
             drop(x);
             let after = stgraph_tensor::mem::stats("baseline-retention").live;
-            assert!(after < before + msg_bytes, "messages must be freed after backward");
+            assert!(
+                after < before + msg_bytes,
+                "messages must be freed after backward"
+            );
         });
     }
 }

@@ -91,6 +91,7 @@ pub fn train_epoch_node_regression(
         let tape = Tape::new();
         let mut h: Option<Var> = carried.take().map(|t| tape.constant(t));
         let mut seq_loss: Option<Var> = None;
+        #[allow(clippy::needless_range_loop)] // t is a timestamp, not just an index
         for t in start..end {
             let x = tape.constant(features[t].clone());
             let (pred, h_new) = model.forward(&tape, graph, &x, h.as_ref());
@@ -131,6 +132,7 @@ pub fn train_epoch_link_prediction(
         let tape = Tape::new();
         let mut h: Option<Var> = carried.take().map(|t| tape.constant(t));
         let mut seq_loss: Option<Var> = None;
+        #[allow(clippy::needless_range_loop)] // t is a timestamp, not just an index
         for t in start..end {
             let x = tape.constant(features.clone());
             let h_new = cell.step(&tape, &dtdg.snapshots[t], &x, h.as_ref());
@@ -171,8 +173,9 @@ mod tests {
         let cell = BaselineTgcn::new(&mut ps, "t", 3, 6, &mut rng);
         let model = BaselineRegressor::new(&mut ps, cell, 1, &mut rng);
         let mut opt = Adam::new(ps, 0.01);
-        let feats: Vec<Tensor> =
-            (0..8).map(|_| Tensor::rand_uniform((n, 3), -1.0, 1.0, &mut rng)).collect();
+        let feats: Vec<Tensor> = (0..8)
+            .map(|_| Tensor::rand_uniform((n, 3), -1.0, 1.0, &mut rng))
+            .collect();
         let targets: Vec<Tensor> = feats
             .iter()
             .map(|x| x.sum_axis1().mul_scalar(1.0 / 3.0).reshape((n, 1)))

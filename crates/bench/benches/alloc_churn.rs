@@ -1,0 +1,138 @@
+//! Allocation churn: one TGCN training epoch on the fig-5 chickenpox workload,
+//! with the workspace buffer pool enabled vs disabled (`STGRAPH_NO_POOL`
+//! semantics via `pool::force_disable`). Also prints the raw allocation count
+//! per epoch in each mode, and compares the register-tiled matmul kernel
+//! against the straightforward i-k-j loop it replaced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stgraph::backend::create_backend;
+use stgraph::executor::{GraphSource, TemporalExecutor};
+use stgraph::tgnn::Tgcn;
+use stgraph::train::{train_epoch_node_regression, NodeRegressor};
+use stgraph_datasets::load_static;
+use stgraph_graph::base::{STGraphBase, Snapshot};
+use stgraph_tensor::nn::ParamSet;
+use stgraph_tensor::optim::Adam;
+use stgraph_tensor::{mem, pool, Tensor};
+
+struct Workload {
+    model: NodeRegressor<Tgcn>,
+    exec: TemporalExecutor,
+    opt: Adam,
+    features: Vec<Tensor>,
+    targets: Vec<Tensor>,
+}
+
+fn tgcn_workload() -> Workload {
+    let ds = load_static("hungary-chickenpox", 4, 24);
+    let snap = Snapshot::from_edges(ds.graph.num_nodes(), &ds.graph.edges);
+    let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut ps = ParamSet::new();
+    let cell = Tgcn::new(&mut ps, "t", 4, 16, &mut rng);
+    let model = NodeRegressor::new(&mut ps, cell, 1, &mut rng);
+    let opt = Adam::new(ps, 0.01);
+    Workload {
+        model,
+        exec,
+        opt,
+        features: ds.features,
+        targets: ds.targets,
+    }
+}
+
+fn epoch(w: &mut Workload) -> f32 {
+    train_epoch_node_regression(&w.model, &w.exec, &mut w.opt, &w.features, &w.targets, 8)
+}
+
+/// Raw `TrackedBuf` allocations performed by one epoch in each mode. Printed
+/// (not asserted) so `cargo bench --bench alloc_churn` documents the
+/// pool's hit rate alongside the timing numbers.
+fn report_alloc_counts() {
+    for (label, disabled) in [("pooled", false), ("unpooled", true)] {
+        pool::force_disable(disabled);
+        let mut w = tgcn_workload();
+        epoch(&mut w); // warm-up epoch: fills the pool / steady-state
+        let before = mem::stats(mem::DEFAULT_POOL).allocations;
+        let pstats_before = pool::stats();
+        epoch(&mut w);
+        let allocs = mem::stats(mem::DEFAULT_POOL).allocations - before;
+        let pstats = pool::stats();
+        let hits = pstats.hits - pstats_before.hits;
+        let misses = pstats.misses - pstats_before.misses;
+        eprintln!(
+            "alloc_churn/{label}: {allocs} raw allocations per epoch \
+             (pool hits {hits}, misses {misses})"
+        );
+        pool::force_disable(false);
+    }
+}
+
+fn naive_matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * m..(kk + 1) * m];
+            let orow = &mut out[i * m..(i + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+fn bench_alloc_churn(c: &mut Criterion) {
+    report_alloc_counts();
+
+    let mut group = c.benchmark_group("alloc_churn");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for (label, disabled) in [("pooled", false), ("unpooled", true)] {
+        pool::force_disable(disabled);
+        let mut w = tgcn_workload();
+        epoch(&mut w); // steady-state before sampling
+        group.bench_with_input(BenchmarkId::new("tgcn_epoch", label), &(), |b, _| {
+            b.iter(|| std::hint::black_box(epoch(&mut w)))
+        });
+        pool::force_disable(false);
+    }
+    group.finish();
+
+    // Kernel ablation: the cache-blocked register-tiled matmul vs the plain
+    // i-k-j loop the seed shipped, on the dense-layer shapes TGNN cells hit.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut group = c.benchmark_group("matmul_tiling");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for &(n, k, m) in &[
+        (2000usize, 64usize, 64usize),
+        (5000, 16, 16),
+        (512, 256, 256),
+    ] {
+        let a = Tensor::rand_uniform((n, k), -1.0, 1.0, &mut rng);
+        let b_t = Tensor::rand_uniform((k, m), -1.0, 1.0, &mut rng);
+        let (av, bv) = (a.data().to_vec(), b_t.data().to_vec());
+        let id = format!("{n}x{k}x{m}");
+        group.bench_with_input(BenchmarkId::new("tiled", &id), &(), |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b_t)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &id), &(), |bch, _| {
+            bch.iter(|| std::hint::black_box(naive_matmul(&av, &bv, n, k, m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_churn);
+criterion_main!(benches);

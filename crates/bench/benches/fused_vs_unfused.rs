@@ -13,8 +13,9 @@ use stgraph_tensor::Tensor;
 fn random_snapshot(n: u32, m: usize, seed: u64) -> Snapshot {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     use rand::Rng;
-    let edges: Vec<(u32, u32)> =
-        (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
     Snapshot::from_edges(n as usize, &edges)
 }
 
@@ -32,7 +33,10 @@ fn bench_backends(c: &mut Criterion) {
     let gat = gat_aggregation(f, 0.2);
 
     let mut group = c.benchmark_group("fused_vs_unfused");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
     for (name, be) in [
         ("fused", &SeastarBackend as &dyn AggregationBackend),
         ("unfused", &ReferenceBackend as &dyn AggregationBackend),
@@ -41,9 +45,7 @@ fn bench_backends(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(be.execute(&gcn, &snap, &[&x], &[&norm], &[], &[])))
         });
         group.bench_with_input(BenchmarkId::new("gat_forward", name), &name, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(be.execute(&gat, &snap, &[&x, &el, &er], &[], &[], &[]))
-            })
+            b.iter(|| std::hint::black_box(be.execute(&gat, &snap, &[&x, &el, &er], &[], &[], &[])))
         });
     }
     group.finish();

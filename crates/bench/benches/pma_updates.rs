@@ -17,7 +17,10 @@ fn random_edges(rng: &mut ChaCha8Rng, n: u32, m: usize) -> Vec<(u32, u32)> {
 
 fn bench_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("pma_update_vs_csr_rebuild");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
     for &m in &[10_000usize, 50_000] {
         let n = (m / 10) as u32;
         let mut rng = ChaCha8Rng::seed_from_u64(1);

@@ -8,7 +8,10 @@ use stgraph_graph::csr::{reverse_csr, reverse_csr_sequential, Csr};
 
 fn bench_reverse(c: &mut Criterion) {
     let mut group = c.benchmark_group("reverse_csr");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
     for &m in &[20_000usize, 200_000] {
         let n = m / 10;
         let mut rng = ChaCha8Rng::seed_from_u64(2);

@@ -4,11 +4,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 use stgraph::backend::{AggregationBackend, SeastarBackend};
 use stgraph_graph::base::{gcn_norm, Snapshot};
 use stgraph_seastar::ir::gcn_aggregation;
 use stgraph_tensor::Tensor;
-use std::sync::Arc;
 
 fn bench_scheduling(c: &mut Criterion) {
     // Power-law graph: a few hubs with huge in-degree.
@@ -43,7 +43,10 @@ fn bench_scheduling(c: &mut Criterion) {
     let prog = gcn_aggregation(f);
 
     let mut group = c.benchmark_group("degree_sorted_scheduling");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
     for (name, snap) in [("degree_sorted", &sorted), ("natural_order", &unsorted)] {
         group.bench_with_input(BenchmarkId::new("gcn_forward", name), &name, |b, _| {
             b.iter(|| {

@@ -9,8 +9,9 @@ use stgraph_dyngraph::{DtdgGraph, DtdgSource, GpmaGraph, NaiveGraph};
 
 fn churn_source(n: u32, m0: usize, t: usize, seed: u64) -> DtdgSource {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut cur: std::collections::BTreeSet<(u32, u32)> =
-        (0..m0).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let mut cur: std::collections::BTreeSet<(u32, u32)> = (0..m0)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
     let mut snaps = vec![cur.iter().copied().collect::<Vec<_>>()];
     for _ in 1..t {
         let removals: Vec<(u32, u32)> =
@@ -29,7 +30,10 @@ fn churn_source(n: u32, m0: usize, t: usize, seed: u64) -> DtdgSource {
 fn bench_snapshots(c: &mut Criterion) {
     let src = churn_source(2000, 30_000, 8, 7);
     let mut group = c.benchmark_group("snapshot_access");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
     group.bench_function(BenchmarkId::new("naive_sweep", 8), |b| {
         let mut g = NaiveGraph::new(&src);
         b.iter(|| {

@@ -2,9 +2,9 @@
 //! gather–scale–scatter (the PyG strategy) for one GCN propagation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pygt_baseline::CooGraph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use pygt_baseline::CooGraph;
 use stgraph::backend::{AggregationBackend, SeastarBackend};
 use stgraph_graph::base::{gcn_norm, Snapshot};
 use stgraph_seastar::ir::gcn_aggregation;
@@ -14,19 +14,30 @@ fn bench_spmm(c: &mut Criterion) {
     let n = 5000u32;
     let m = 60_000;
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    let edges: Vec<(u32, u32)> =
-        (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
     let snap = Snapshot::from_edges(n as usize, &edges);
     let coo = CooGraph::new(n as usize, &edges);
     let mut group = c.benchmark_group("spmm_strategy");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
     for &f in &[8usize, 64] {
         let x = Tensor::rand_uniform((n as usize, f), -1.0, 1.0, &mut rng);
         let norm = Tensor::from_vec((n as usize, 1), gcn_norm(&snap.in_degrees));
         let prog = gcn_aggregation(f);
         group.bench_with_input(BenchmarkId::new("vertex_parallel", f), &f, |b, _| {
             b.iter(|| {
-                std::hint::black_box(SeastarBackend.execute(&prog, &snap, &[&x], &[&norm], &[], &[]))
+                std::hint::black_box(SeastarBackend.execute(
+                    &prog,
+                    &snap,
+                    &[&x],
+                    &[&norm],
+                    &[],
+                    &[],
+                ))
             })
         });
         group.bench_with_input(BenchmarkId::new("edge_parallel", f), &f, |b, _| {

@@ -24,17 +24,25 @@ fn main() {
         .collect();
     let f = 32;
 
-    println!("Ablation: State-Stack saved-set minimisation (seq of 10 timestamps, n={n}, m={}, F={f})", edges.len());
-    println!("{:<10} {:<12} {:>16} {:>16}", "layer", "policy", "stack_bytes", "stack_peak_depth");
-    for (layer, make) in [
-        ("GCN", true),
-        ("GAT", false),
-    ] {
+    println!(
+        "Ablation: State-Stack saved-set minimisation (seq of 10 timestamps, n={n}, m={}, F={f})",
+        edges.len()
+    );
+    println!(
+        "{:<10} {:<12} {:>16} {:>16}",
+        "layer", "policy", "stack_bytes", "stack_peak_depth"
+    );
+    for (layer, make) in [("GCN", true), ("GAT", false)] {
         for (policy, save_all) in [("minimal", false), ("save-all", true)] {
             let snap = Snapshot::from_edges(n, &edges);
-            let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap.clone()));
+            let exec =
+                TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap.clone()));
             let prog = if make {
-                if save_all { compile_save_all_inputs(gcn_aggregation(f)) } else { compile(gcn_aggregation(f)) }
+                if save_all {
+                    compile_save_all_inputs(gcn_aggregation(f))
+                } else {
+                    compile(gcn_aggregation(f))
+                }
             } else if save_all {
                 compile_save_all_inputs(gat_aggregation(f, 0.2))
             } else {
@@ -53,7 +61,10 @@ fn main() {
                 };
             }
             let (_, _, peak_depth, bytes) = exec.state_stack_stats();
-            println!("{:<10} {:<12} {:>16} {:>16}", layer, policy, bytes, peak_depth);
+            println!(
+                "{:<10} {:<12} {:>16} {:>16}",
+                layer, policy, bytes, peak_depth
+            );
             let loss = x.square().sum();
             tape.backward(&loss);
         }

@@ -1,7 +1,9 @@
 //! Figure 5: per-epoch time vs feature size for the five static-temporal
 //! datasets, STGraph vs PyG-T (TGCN, node regression, MSE).
 
-use stgraph_bench::{print_table, run_static, write_json, BenchScale, Framework, Row, StaticConfig};
+use stgraph_bench::{
+    print_table, run_static, write_json, BenchScale, Framework, Row, StaticConfig,
+};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -14,7 +16,12 @@ fn main() {
             for fw in [Framework::PygT, Framework::StGraph] {
                 let r = run_static(&cfg, fw, scale);
                 eprintln!("done {ds} F={f} {} ({:.1} ms)", fw.name(), r.epoch_ms);
-                rows.push(Row { dataset: ds.into(), series: fw.name().into(), x: f as f64, result: r });
+                rows.push(Row {
+                    dataset: ds.into(),
+                    series: fw.name().into(),
+                    x: f as f64,
+                    result: r,
+                });
             }
         }
     }

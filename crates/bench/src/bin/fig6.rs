@@ -1,9 +1,14 @@
 //! Figure 6: memory consumption vs sequence length for the five
 //! static-temporal datasets at feature size 8, STGraph vs PyG-T.
 
-use stgraph_bench::{print_table, run_static, write_json, BenchScale, Framework, Row, StaticConfig};
+use stgraph_bench::{
+    print_table, run_static, write_json, BenchScale, Framework, Row, StaticConfig,
+};
 
 fn main() {
+    // Memory figure: run un-pooled so live/peak bytes are true working-set
+    // sizes, not inflated by cached workspace buffers (see stgraph_tensor::pool).
+    stgraph_tensor::pool::force_disable(true);
     let mut scale = BenchScale::from_env();
     // Sequence-length sweep needs enough timestamps to matter.
     scale.timestamps = scale.timestamps.max(40);
@@ -15,8 +20,17 @@ fn main() {
             let cfg = StaticConfig::new(ds, 8, s);
             for fw in [Framework::PygT, Framework::StGraph] {
                 let r = run_static(&cfg, fw, scale);
-                eprintln!("done {ds} seq={s} {} ({:.1} MiB)", fw.name(), r.peak_bytes as f64 / 1048576.0);
-                rows.push(Row { dataset: ds.into(), series: fw.name().into(), x: s as f64, result: r });
+                eprintln!(
+                    "done {ds} seq={s} {} ({:.1} MiB)",
+                    fw.name(),
+                    r.peak_bytes as f64 / 1048576.0
+                );
+                rows.push(Row {
+                    dataset: ds.into(),
+                    series: fw.name().into(),
+                    x: s as f64,
+                    result: r,
+                });
             }
         }
     }

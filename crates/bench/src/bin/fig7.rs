@@ -14,13 +14,27 @@ fn main() {
     for ds in datasets {
         for &f in &feature_sizes {
             let cfg = DynamicConfig::new(ds, f, 5.0);
-            for v in [DynamicVariant::PygT, DynamicVariant::Naive, DynamicVariant::Gpma] {
+            for v in [
+                DynamicVariant::PygT,
+                DynamicVariant::Naive,
+                DynamicVariant::Gpma,
+            ] {
                 let r = run_dynamic(&cfg, v, scale);
                 eprintln!("done {ds} F={f} {} ({:.1} ms)", v.name(), r.epoch_ms);
-                rows.push(Row { dataset: ds.into(), series: v.name().into(), x: f as f64, result: r });
+                rows.push(Row {
+                    dataset: ds.into(),
+                    series: v.name().into(),
+                    x: f as f64,
+                    result: r,
+                });
             }
         }
     }
-    print_table("Figure 7: per-epoch time vs feature size (DTDG, 5% change)", "feat", &rows, "pygt");
+    print_table(
+        "Figure 7: per-epoch time vs feature size (DTDG, 5% change)",
+        "feat",
+        &rows,
+        "pygt",
+    );
     write_json("fig7", &rows);
 }

@@ -6,6 +6,9 @@ use stgraph_bench::{
 };
 
 fn main() {
+    // Memory figure: run un-pooled so live/peak bytes are true working-set
+    // sizes, not inflated by cached workspace buffers (see stgraph_tensor::pool).
+    stgraph_tensor::pool::force_disable(true);
     let scale = BenchScale::from_env();
     let pcts = [1.0f64, 2.5, 5.0, 10.0];
     let datasets = ["WT", "SU", "SO", "MO", "RT"];
@@ -17,13 +20,31 @@ fn main() {
             // snapshot count is exactly what drives Naive/PyG-T memory, so
             // do not truncate it here.
             cfg.max_timestamps = 500;
-            for v in [DynamicVariant::PygT, DynamicVariant::Naive, DynamicVariant::Gpma] {
+            for v in [
+                DynamicVariant::PygT,
+                DynamicVariant::Naive,
+                DynamicVariant::Gpma,
+            ] {
                 let r = run_dynamic(&cfg, v, scale);
-                eprintln!("done {ds} pct={p} {} ({:.1} MiB)", v.name(), r.peak_bytes as f64 / 1048576.0);
-                rows.push(Row { dataset: ds.into(), series: v.name().into(), x: p, result: r });
+                eprintln!(
+                    "done {ds} pct={p} {} ({:.1} MiB)",
+                    v.name(),
+                    r.peak_bytes as f64 / 1048576.0
+                );
+                rows.push(Row {
+                    dataset: ds.into(),
+                    series: v.name().into(),
+                    x: p,
+                    result: r,
+                });
             }
         }
     }
-    print_table("Figure 8: peak memory vs % change between snapshots (DTDG)", "pct", &rows, "pygt");
+    print_table(
+        "Figure 8: peak memory vs % change between snapshots (DTDG)",
+        "pct",
+        &rows,
+        "pygt",
+    );
     write_json("fig8", &rows);
 }

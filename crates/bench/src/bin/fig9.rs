@@ -9,7 +9,10 @@ fn main() {
     let datasets = ["WT", "SU", "SO", "MO", "RT"];
     let mut rows = Vec::new();
     println!("Figure 9: STGraph-GPMA time breakdown (GNN compute vs graph update)");
-    println!("{:<6} {:>6} {:>12} {:>10} {:>10}", "data", "feat", "epoch_ms", "gnn_%", "update_%");
+    println!(
+        "{:<6} {:>6} {:>12} {:>10} {:>10}",
+        "data", "feat", "epoch_ms", "gnn_%", "update_%"
+    );
     for ds in datasets {
         for &f in &feature_sizes {
             let cfg = DynamicConfig::new(ds, f, 5.0);
@@ -22,7 +25,12 @@ fn main() {
                 100.0 * r.gnn_fraction,
                 100.0 * (1.0 - r.gnn_fraction)
             );
-            rows.push(Row { dataset: ds.into(), series: "stgraph-gpma".into(), x: f as f64, result: r });
+            rows.push(Row {
+                dataset: ds.into(),
+                series: "stgraph-gpma".into(),
+                x: f as f64,
+                result: r,
+            });
         }
     }
     write_json("fig9", &rows);

@@ -16,7 +16,12 @@ fn main() {
             for fw in [Framework::PygT, Framework::StGraph] {
                 let r = run_static(&cfg, fw, scale);
                 eprintln!("static {ds} F={f} {}", fw.name());
-                static_rows.push(Row { dataset: ds.into(), series: fw.name().into(), x: f as f64, result: r });
+                static_rows.push(Row {
+                    dataset: ds.into(),
+                    series: fw.name().into(),
+                    x: f as f64,
+                    result: r,
+                });
             }
         }
     }
@@ -25,18 +30,36 @@ fn main() {
     for ds in ["WT", "SU", "SO", "MO", "RT"] {
         for f in [8usize, 32] {
             let cfg = DynamicConfig::new(ds, f, 5.0);
-            for v in [DynamicVariant::PygT, DynamicVariant::Naive, DynamicVariant::Gpma] {
+            for v in [
+                DynamicVariant::PygT,
+                DynamicVariant::Naive,
+                DynamicVariant::Gpma,
+            ] {
                 let r = run_dynamic(&cfg, v, scale);
                 eprintln!("dyn {ds} F={f} {}", v.name());
-                dyn_rows.push(Row { dataset: ds.into(), series: v.name().into(), x: f as f64, result: r });
+                dyn_rows.push(Row {
+                    dataset: ds.into(),
+                    series: v.name().into(),
+                    x: f as f64,
+                    result: r,
+                });
             }
         }
         for p in [2.5f64, 10.0] {
             let cfg = DynamicConfig::new(ds, 8, p);
-            for v in [DynamicVariant::PygT, DynamicVariant::Naive, DynamicVariant::Gpma] {
+            for v in [
+                DynamicVariant::PygT,
+                DynamicVariant::Naive,
+                DynamicVariant::Gpma,
+            ] {
                 let r = run_dynamic(&cfg, v, scale);
                 eprintln!("dyn {ds} pct={p} {}", v.name());
-                dyn_rows.push(Row { dataset: ds.into(), series: v.name().into(), x: 1000.0 + p, result: r });
+                dyn_rows.push(Row {
+                    dataset: ds.into(),
+                    series: v.name().into(),
+                    x: 1000.0 + p,
+                    result: r,
+                });
             }
         }
     }
@@ -46,11 +69,26 @@ fn main() {
     let (gs_max, gs_avg, gm_max, gm_avg) = summarize(&dyn_rows, "stgraph-gpma", "pygt");
 
     println!("\nTable III: Improvement of STGraph variants over PyG-T");
-    println!("{:<36} {:>8} {:>8} {:>8}", "Metric", "Static", "Naive", "GPMA");
-    println!("{:<36} {:>7.2}x {:>7.2}x {:>7.2}x", "Time Taken per epoch (max)", s_max, ns_max, gs_max);
-    println!("{:<36} {:>7.2}x {:>7.2}x {:>7.2}x", "Time Taken per epoch (avg)", s_avg, ns_avg, gs_avg);
-    println!("{:<36} {:>7.2}x {:>7.2}x {:>7.2}x", "Memory Consumed (max)", m_max, nm_max, gm_max);
-    println!("{:<36} {:>7.2}x {:>7.2}x {:>7.2}x", "Memory Consumed (avg)", m_avg, nm_avg, gm_avg);
+    println!(
+        "{:<36} {:>8} {:>8} {:>8}",
+        "Metric", "Static", "Naive", "GPMA"
+    );
+    println!(
+        "{:<36} {:>7.2}x {:>7.2}x {:>7.2}x",
+        "Time Taken per epoch (max)", s_max, ns_max, gs_max
+    );
+    println!(
+        "{:<36} {:>7.2}x {:>7.2}x {:>7.2}x",
+        "Time Taken per epoch (avg)", s_avg, ns_avg, gs_avg
+    );
+    println!(
+        "{:<36} {:>7.2}x {:>7.2}x {:>7.2}x",
+        "Memory Consumed (max)", m_max, nm_max, gm_max
+    );
+    println!(
+        "{:<36} {:>7.2}x {:>7.2}x {:>7.2}x",
+        "Memory Consumed (avg)", m_avg, nm_avg, gm_avg
+    );
     println!("\nPaper's Table III:            Static   Naive    GPMA");
     println!("Time (max):                    1.69x    1.65x    1.20x");
     println!("Time (avg):                    1.28x    1.22x    0.86x");

@@ -100,7 +100,11 @@ fn make_cell(
 
 fn main() {
     let args = parse_args();
-    let dataset = args.get("dataset").map(String::as_str).unwrap_or("HC").to_string();
+    let dataset = args
+        .get("dataset")
+        .map(String::as_str)
+        .unwrap_or("HC")
+        .to_string();
     let meta = info(&dataset);
     let task = match args.get("task").map(String::as_str).unwrap_or("auto") {
         "auto" => {
@@ -116,8 +120,16 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let model = args.get("model").map(String::as_str).unwrap_or("tgcn").to_string();
-    let backend = args.get("backend").map(String::as_str).unwrap_or("seastar").to_string();
+    let model = args
+        .get("model")
+        .map(String::as_str)
+        .unwrap_or("tgcn")
+        .to_string();
+    let backend = args
+        .get("backend")
+        .map(String::as_str)
+        .unwrap_or("seastar")
+        .to_string();
     let features = get(&args, "features", 8usize);
     let hidden = get(&args, "hidden", 32usize);
     let epochs = get(&args, "epochs", 10usize);
@@ -126,11 +138,18 @@ fn main() {
     let seed = get(&args, "seed", 42u64);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
-    println!("dataset: {} ({:?}), task: {task}, model: {model}, backend: {backend}", meta.name, meta.kind);
+    println!(
+        "dataset: {} ({:?}), task: {task}, model: {model}, backend: {backend}",
+        meta.name, meta.kind
+    );
 
     match task {
         "node" => {
-            assert_eq!(meta.kind, GraphKind::StaticTemporal, "node regression needs a static-temporal dataset");
+            assert_eq!(
+                meta.kind,
+                GraphKind::StaticTemporal,
+                "node regression needs a static-temporal dataset"
+            );
             let timestamps = get(&args, "timestamps", 40usize);
             let ds = load_static(meta.name, features, timestamps);
             println!(
@@ -150,14 +169,26 @@ fn main() {
             let start = std::time::Instant::now();
             for epoch in 1..=epochs {
                 let loss = train_epoch_node_regression(
-                    &regressor, &exec, &mut opt, &ds.features, &ds.targets, seq_len,
+                    &regressor,
+                    &exec,
+                    &mut opt,
+                    &ds.features,
+                    &ds.targets,
+                    seq_len,
                 );
                 println!("epoch {epoch:>3}: MSE {loss:.5}");
             }
-            println!("trained {epochs} epochs in {:.2}s", start.elapsed().as_secs_f32());
+            println!(
+                "trained {epochs} epochs in {:.2}s",
+                start.elapsed().as_secs_f32()
+            );
         }
         "link" => {
-            assert_eq!(meta.kind, GraphKind::Dynamic, "link prediction needs a dynamic dataset");
+            assert_eq!(
+                meta.kind,
+                GraphKind::Dynamic,
+                "link prediction needs a dynamic dataset"
+            );
             let scale = get(&args, "scale", 64usize);
             let pct = get(&args, "pct_change", 5.0f64);
             let max_t = get(&args, "timestamps", 20usize);
@@ -189,9 +220,8 @@ fn main() {
             let batches = link_prediction_batches(&src, 512, seed);
             let start = std::time::Instant::now();
             for epoch in 1..=epochs {
-                let loss = train_epoch_link_prediction(
-                    &cell, &exec, &mut opt, &feats, &batches, seq_len,
-                );
+                let loss =
+                    train_epoch_link_prediction(&cell, &exec, &mut opt, &feats, &batches, seq_len);
                 println!("epoch {epoch:>3}: BCE {loss:.5}");
             }
             let (loss, auc, acc) = eval_link_prediction(&cell, &exec, &feats, &batches, seq_len);

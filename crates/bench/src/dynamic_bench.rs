@@ -113,7 +113,12 @@ pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchSca
             let mut loss = 0.0;
             for _ in 0..scale.warmup {
                 loss = train_epoch_link_prediction(
-                    &cell, &exec, &mut opt, &feats, &batches, cfg.seq_len,
+                    &cell,
+                    &exec,
+                    &mut opt,
+                    &feats,
+                    &batches,
+                    cfg.seq_len,
                 );
             }
             // Drain instrumentation accumulated during warm-up.
@@ -123,7 +128,12 @@ pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchSca
             let start = Instant::now();
             for _ in 0..scale.epochs {
                 loss = train_epoch_link_prediction(
-                    &cell, &exec, &mut opt, &feats, &batches, cfg.seq_len,
+                    &cell,
+                    &exec,
+                    &mut opt,
+                    &feats,
+                    &batches,
+                    cfg.seq_len,
                 );
             }
             let total = start.elapsed().as_secs_f64();
@@ -137,26 +147,45 @@ pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchSca
                 epoch_ms,
                 peak_bytes: mem::stats(pool).peak,
                 final_loss: loss,
-                gnn_fraction: if total > 0.0 { (total - update).max(0.0) / total } else { 1.0 },
+                gnn_fraction: if total > 0.0 {
+                    (total - update).max(0.0) / total
+                } else {
+                    1.0
+                },
             }
         }
         DynamicVariant::PygT => {
             let dtdg = pygt_baseline::BaselineDtdg::new(&src);
             let mut ps = ParamSet::new();
-            let cell =
-                pygt_baseline::BaselineTgcn::new(&mut ps, "tgcn", cfg.feature_size, cfg.hidden, &mut rng);
+            let cell = pygt_baseline::BaselineTgcn::new(
+                &mut ps,
+                "tgcn",
+                cfg.feature_size,
+                cfg.hidden,
+                &mut rng,
+            );
             let mut opt = Adam::new(ps, 0.01);
             let mut loss = 0.0;
             for _ in 0..scale.warmup {
                 loss = pygt_baseline::train::train_epoch_link_prediction(
-                    &cell, &dtdg, &mut opt, &feats, &batches, cfg.seq_len,
+                    &cell,
+                    &dtdg,
+                    &mut opt,
+                    &feats,
+                    &batches,
+                    cfg.seq_len,
                 );
             }
             mem::reset_peak(pool);
             let start = Instant::now();
             for _ in 0..scale.epochs {
                 loss = pygt_baseline::train::train_epoch_link_prediction(
-                    &cell, &dtdg, &mut opt, &feats, &batches, cfg.seq_len,
+                    &cell,
+                    &dtdg,
+                    &mut opt,
+                    &feats,
+                    &batches,
+                    cfg.seq_len,
                 );
             }
             let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;

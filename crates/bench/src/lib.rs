@@ -58,7 +58,10 @@ impl BenchScale {
     /// multi-minute full run.
     pub fn from_env() -> BenchScale {
         let get = |k: &str, d: usize| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         BenchScale {
             epochs: get("STGRAPH_BENCH_EPOCHS", 5),

@@ -35,7 +35,10 @@ pub fn print_table(title: &str, x_label: &str, rows: &[Row], baseline: &str) {
         let (speedup, mem_ratio) = match base {
             Some(b) if row.series != baseline => (
                 format!("{:.2}x", b.result.epoch_ms / row.result.epoch_ms),
-                format!("{:.2}x", b.result.peak_bytes as f64 / row.result.peak_bytes as f64),
+                format!(
+                    "{:.2}x",
+                    b.result.peak_bytes as f64 / row.result.peak_bytes as f64
+                ),
             ),
             _ => ("-".to_string(), "-".to_string()),
         };

@@ -51,7 +51,12 @@ pub struct StaticConfig {
 impl StaticConfig {
     /// The paper's default TGCN configuration on a dataset.
     pub fn new(dataset: &str, feature_size: usize, seq_len: usize) -> StaticConfig {
-        StaticConfig { dataset: dataset.to_string(), feature_size, seq_len, hidden: 32 }
+        StaticConfig {
+            dataset: dataset.to_string(),
+            feature_size,
+            seq_len,
+            hidden: 32,
+        }
     }
 }
 
@@ -69,8 +74,7 @@ pub fn run_static(cfg: &StaticConfig, framework: Framework, scale: BenchScale) -
         Framework::StGraph => {
             // Pre-processing (Seastar does this once for static graphs).
             let snap = Snapshot::from_edges(ds.graph.snapshot().csr.num_nodes(), &ds.graph.edges);
-            let exec =
-                TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+            let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
             let mut ps = ParamSet::new();
             let cell = Tgcn::new(&mut ps, "tgcn", cfg.feature_size, cfg.hidden, &mut rng);
             let model = NodeRegressor::new(&mut ps, cell, 1, &mut rng);
@@ -78,14 +82,24 @@ pub fn run_static(cfg: &StaticConfig, framework: Framework, scale: BenchScale) -
             let mut loss = 0.0;
             for _ in 0..scale.warmup {
                 loss = train_epoch_node_regression(
-                    &model, &exec, &mut opt, &ds.features, &ds.targets, cfg.seq_len,
+                    &model,
+                    &exec,
+                    &mut opt,
+                    &ds.features,
+                    &ds.targets,
+                    cfg.seq_len,
                 );
             }
             mem::reset_peak(pool);
             let start = Instant::now();
             for _ in 0..scale.epochs {
                 loss = train_epoch_node_regression(
-                    &model, &exec, &mut opt, &ds.features, &ds.targets, cfg.seq_len,
+                    &model,
+                    &exec,
+                    &mut opt,
+                    &ds.features,
+                    &ds.targets,
+                    cfg.seq_len,
                 );
             }
             let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;
@@ -97,26 +111,39 @@ pub fn run_static(cfg: &StaticConfig, framework: Framework, scale: BenchScale) -
             }
         }
         Framework::PygT => {
-            let graph = pygt_baseline::CooGraph::new(
-                ds.graph.snapshot().csr.num_nodes(),
-                &ds.graph.edges,
-            );
+            let graph =
+                pygt_baseline::CooGraph::new(ds.graph.snapshot().csr.num_nodes(), &ds.graph.edges);
             let mut ps = ParamSet::new();
-            let cell =
-                pygt_baseline::BaselineTgcn::new(&mut ps, "tgcn", cfg.feature_size, cfg.hidden, &mut rng);
+            let cell = pygt_baseline::BaselineTgcn::new(
+                &mut ps,
+                "tgcn",
+                cfg.feature_size,
+                cfg.hidden,
+                &mut rng,
+            );
             let model = pygt_baseline::BaselineRegressor::new(&mut ps, cell, 1, &mut rng);
             let mut opt = Adam::new(ps, 0.01);
             let mut loss = 0.0;
             for _ in 0..scale.warmup {
                 loss = pygt_baseline::train::train_epoch_node_regression(
-                    &model, &graph, &mut opt, &ds.features, &ds.targets, cfg.seq_len,
+                    &model,
+                    &graph,
+                    &mut opt,
+                    &ds.features,
+                    &ds.targets,
+                    cfg.seq_len,
                 );
             }
             mem::reset_peak(pool);
             let start = Instant::now();
             for _ in 0..scale.epochs {
                 loss = pygt_baseline::train::train_epoch_node_regression(
-                    &model, &graph, &mut opt, &ds.features, &ds.targets, cfg.seq_len,
+                    &model,
+                    &graph,
+                    &mut opt,
+                    &ds.features,
+                    &ds.targets,
+                    cfg.seq_len,
                 );
             }
             let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;

@@ -127,11 +127,9 @@ impl AggregationBackend for ReferenceBackend {
                 Op::Div(a, b) => broadcast_bin(&values, a, b, w, |x, y| x / y),
                 Op::Scale(a, c) => values[a].as_ref().unwrap().mul_scalar(c),
                 Op::LeakyRelu(a, s) => values[a].as_ref().unwrap().leaky_relu(s),
-                Op::LeakyReluGrad(g, x, s) => {
-                    broadcast_bin(&values, g, x, w, move |gv, xv| {
-                        gv * if xv >= 0.0 { 1.0 } else { s }
-                    })
-                }
+                Op::LeakyReluGrad(g, x, s) => broadcast_bin(&values, g, x, w, move |gv, xv| {
+                    gv * if xv >= 0.0 { 1.0 } else { s }
+                }),
                 Op::Exp(a) => values[a].as_ref().unwrap().exp(),
                 Op::Sigmoid(a) => values[a].as_ref().unwrap().sigmoid(),
                 Op::Tanh(a) => values[a].as_ref().unwrap().tanh(),
@@ -149,8 +147,15 @@ impl AggregationBackend for ReferenceBackend {
             );
             values[id] = Some(val);
         }
-        let saved = save.iter().map(|&id| values[id].as_ref().unwrap().clone()).collect();
-        let outputs = prog.outputs.iter().map(|&o| values[o].as_ref().unwrap().clone()).collect();
+        let saved = save
+            .iter()
+            .map(|&id| values[id].as_ref().unwrap().clone())
+            .collect();
+        let outputs = prog
+            .outputs
+            .iter()
+            .map(|&o| values[o].as_ref().unwrap().clone())
+            .collect();
         ExecOutput { outputs, saved }
     }
 }
@@ -198,7 +203,17 @@ mod tests {
     fn snap() -> Snapshot {
         Snapshot::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (2, 5), (1, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (2, 5),
+                (1, 4),
+            ],
         )
     }
 

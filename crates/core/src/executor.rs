@@ -57,7 +57,11 @@ pub fn compile_save_all_inputs(forward: Program) -> Rc<CompiledProgram> {
 }
 
 fn compile_impl(forward: Program, save_all: bool) -> CompiledProgram {
-    assert_eq!(forward.outputs.len(), 1, "layer programs have a single output");
+    assert_eq!(
+        forward.outputs.len(),
+        1,
+        "layer programs have a single output"
+    );
     let forward = forward.eliminate_common_subexpressions();
     let mut backward = differentiate(&forward);
     backward.program = backward.program.eliminate_common_subexpressions();
@@ -69,11 +73,19 @@ fn compile_impl(forward: Program, save_all: bool) -> CompiledProgram {
         .count();
     let extra_input_saves = if save_all {
         let needed = backward.saved_input_slots();
-        (0..forward.input_widths.len()).filter(|slot| !needed.contains(slot)).collect()
+        (0..forward.input_widths.len())
+            .filter(|slot| !needed.contains(slot))
+            .collect()
     } else {
         Vec::new()
     };
-    CompiledProgram { forward, backward, save_ids, n_node_value_saves, extra_input_saves }
+    CompiledProgram {
+        forward,
+        backward,
+        save_ids,
+        n_node_value_saves,
+        extra_input_saves,
+    }
 }
 
 /// Where snapshots come from.
@@ -193,6 +205,10 @@ impl TemporalExecutor {
         edge_consts: Vec<Tensor>,
     ) -> Var<'t> {
         let shared = &self.shared;
+        // Workspace buffers recycle within this timestamp's kernels; when an
+        // epoch-level scope encloses this one (the train loops open one),
+        // they recycle across timestamps too.
+        let _pool = stgraph_tensor::PoolScope::new();
         let snap = shared.snapshot(t, Phase::Forward);
 
         // Forward kernels.
@@ -245,6 +261,7 @@ impl TemporalExecutor {
         tape.custom(inputs, output, move |grad_out| {
             let shared = &shared_bw;
             let prog = &prog_bw;
+            let _pool = stgraph_tensor::PoolScope::new();
             // Graph Stack pop + backward snapshot (Get-Backward-Graph).
             let snap = match &static_snap {
                 Some(s) => s.clone(),
@@ -461,7 +478,10 @@ mod tests {
         let x0 = Tensor::rand_uniform((5, 2), -1.0, 1.0, &mut rng);
         let l1 = dtdg_loss(&exec, &x0);
         let l2 = dtdg_loss(&exec, &x0);
-        assert!((l1 - l2).abs() < 1e-5, "epochs must be deterministic: {l1} vs {l2}");
+        assert!(
+            (l1 - l2).abs() < 1e-5,
+            "epochs must be deterministic: {l1} vs {l2}"
+        );
         assert!(provider.borrow_mut().take_update_time() > Duration::ZERO);
     }
 
@@ -509,8 +529,15 @@ mod tests {
         let (minimal_bytes, g_min) = run(false);
         let (ablation_bytes, g_all) = run(true);
         assert_eq!(minimal_bytes, 0, "minimal saved set for GCN is empty");
-        assert_eq!(ablation_bytes, 3 * 5 * 4 * 4, "save-all keeps 3 x [5,4] f32 frames");
-        assert!(g_min.approx_eq(&g_all, 1e-5), "policies must not change gradients");
+        assert_eq!(
+            ablation_bytes,
+            3 * 5 * 4 * 4,
+            "save-all keeps 3 x [5,4] f32 frames"
+        );
+        assert!(
+            g_min.approx_eq(&g_all, 1e-5),
+            "policies must not change gradients"
+        );
     }
 
     #[test]
@@ -522,7 +549,10 @@ mod tests {
             prog.forward.len()
         );
         assert_eq!(
-            prog.backward.program.eliminate_common_subexpressions().len(),
+            prog.backward
+                .program
+                .eliminate_common_subexpressions()
+                .len(),
             prog.backward.program.len()
         );
     }

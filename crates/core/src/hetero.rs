@@ -38,7 +38,11 @@ impl HeteroGraph {
             names.push(name);
             snapshots.push(Snapshot::from_edges(num_nodes, &edges));
         }
-        HeteroGraph { num_nodes, relation_names: names, snapshots }
+        HeteroGraph {
+            num_nodes,
+            relation_names: names,
+            snapshots,
+        }
     }
 
     /// Number of relations.
@@ -107,10 +111,24 @@ impl RgcnConv {
         rng: &mut impl Rng,
     ) -> RgcnConv {
         RgcnConv {
-            self_weight: Linear::new(params, &format!("{name}.self"), in_features, out_features, true, rng),
+            self_weight: Linear::new(
+                params,
+                &format!("{name}.self"),
+                in_features,
+                out_features,
+                true,
+                rng,
+            ),
             rel_weights: (0..num_relations)
                 .map(|r| {
-                    Linear::new(params, &format!("{name}.rel{r}"), in_features, out_features, false, rng)
+                    Linear::new(
+                        params,
+                        &format!("{name}.rel{r}"),
+                        in_features,
+                        out_features,
+                        false,
+                        rng,
+                    )
                 })
                 .collect(),
             program: compile(mean_aggregation(out_features)),
@@ -119,7 +137,11 @@ impl RgcnConv {
 
     /// Applies the layer.
     pub fn forward<'t>(&self, tape: &'t Tape, exec: &HeteroExecutor, x: &Var<'t>) -> Var<'t> {
-        assert_eq!(exec.num_relations(), self.rel_weights.len(), "relation count mismatch");
+        assert_eq!(
+            exec.num_relations(),
+            self.rel_weights.len(),
+            "relation count mismatch"
+        );
         let mut out = self.self_weight.forward(tape, x);
         for (r, w_r) in self.rel_weights.iter().enumerate() {
             let rel_exec = exec.relation(r);
@@ -197,7 +219,11 @@ mod tests {
             }
         }
         let want = Tensor::from_vec((6, 3), want);
-        assert!(y.value().approx_eq(&want, 1e-4), "diff {}", y.value().max_abs_diff(&want));
+        assert!(
+            y.value().approx_eq(&want, 1e-4),
+            "diff {}",
+            y.value().max_abs_diff(&want)
+        );
         let loss = y.sum();
         tape.backward(&loss);
     }

@@ -4,12 +4,12 @@
 //! temporally-aware executor as compiled vertex-centric programs.
 
 use crate::executor::{compile, CompiledProgram, TemporalExecutor};
+use rand::Rng;
 use std::rc::Rc;
 use stgraph_graph::base::{gcn_norm, Snapshot};
 use stgraph_seastar::ir::{gat_aggregation, gcn_aggregation, Program, ProgramBuilder};
 use stgraph_tensor::nn::{Linear, ParamSet};
 use stgraph_tensor::{Tape, Tensor, Var};
-use rand::Rng;
 
 /// Per-snapshot GCN degree norms as an `[n, 1]` tensor.
 pub fn norm_tensor(snap: &Snapshot) -> Tensor {
@@ -86,7 +86,14 @@ impl GcnConv {
     ) -> Var<'t> {
         let h = self.linear.forward(tape, x);
         let snap = exec.snapshot_for(t);
-        exec.apply(tape, &self.program, t, &[&h], vec![norm_tensor(&snap)], vec![])
+        exec.apply(
+            tape,
+            &self.program,
+            t,
+            &[&h],
+            vec![norm_tensor(&snap)],
+            vec![],
+        )
     }
 }
 
@@ -111,7 +118,14 @@ impl GatConv {
         rng: &mut impl Rng,
     ) -> GatConv {
         GatConv {
-            weight: Linear::new(params, &format!("{name}.w"), in_features, out_features, false, rng),
+            weight: Linear::new(
+                params,
+                &format!("{name}.w"),
+                in_features,
+                out_features,
+                false,
+                rng,
+            ),
             attn_l: Linear::new(params, &format!("{name}.al"), out_features, 1, false, rng),
             attn_r: Linear::new(params, &format!("{name}.ar"), out_features, 1, false, rng),
             program: compile(gat_aggregation(out_features, 0.2)),
@@ -168,7 +182,13 @@ impl MultiHeadGatConv {
         MultiHeadGatConv {
             heads: (0..heads)
                 .map(|h| {
-                    GatConv::new(params, &format!("{name}.h{h}"), in_features, out_per_head, rng)
+                    GatConv::new(
+                        params,
+                        &format!("{name}.h{h}"),
+                        in_features,
+                        out_per_head,
+                        rng,
+                    )
                 })
                 .collect(),
         }
@@ -187,7 +207,11 @@ impl MultiHeadGatConv {
         t: usize,
         x: &Var<'t>,
     ) -> Var<'t> {
-        let outs: Vec<Var<'t>> = self.heads.iter().map(|h| h.forward(tape, exec, t, x)).collect();
+        let outs: Vec<Var<'t>> = self
+            .heads
+            .iter()
+            .map(|h| h.forward(tape, exec, t, x))
+            .collect();
         let refs: Vec<&Var<'t>> = outs.iter().collect();
         Var::concat_cols(&refs)
     }
@@ -232,10 +256,21 @@ impl ChebConv {
         let weights = (0..k)
             .map(|i| {
                 // Only W_0 carries the bias, matching PyG's ChebConv.
-                Linear::new(params, &format!("{name}.w{i}"), in_features, out_features, i == 0, rng)
+                Linear::new(
+                    params,
+                    &format!("{name}.w{i}"),
+                    in_features,
+                    out_features,
+                    i == 0,
+                    rng,
+                )
             })
             .collect();
-        ChebConv { weights, program: compile(neg_sym_aggregation(in_features)), k }
+        ChebConv {
+            weights,
+            program: compile(neg_sym_aggregation(in_features)),
+            k,
+        }
     }
 
     /// Chebyshev order K.
@@ -254,8 +289,11 @@ impl ChebConv {
         let snap = exec.snapshot_for(t);
         // Norms without self-loops: 1/sqrt(max(deg, 1)).
         let n = snap.in_degrees.len();
-        let norm: Vec<f32> =
-            snap.in_degrees.iter().map(|&d| 1.0 / (d.max(1) as f32).sqrt()).collect();
+        let norm: Vec<f32> = snap
+            .in_degrees
+            .iter()
+            .map(|&d| 1.0 / (d.max(1) as f32).sqrt())
+            .collect();
         let norm = Tensor::from_vec((n, 1), norm);
 
         let mut out = self.weights[0].forward(tape, x);
@@ -406,7 +444,11 @@ mod tests {
             let loss = conv.forward(&tape, &e, 0, &xv).mse_loss(&target);
             tape.backward(&loss);
         }
-        for p in [&conv.weight.weight, &conv.attn_l.weight, &conv.attn_r.weight] {
+        for p in [
+            &conv.weight.weight,
+            &conv.attn_l.weight,
+            &conv.attn_r.weight,
+        ] {
             let analytic = p.grad();
             let p0 = p.value();
             let e2 = exec();

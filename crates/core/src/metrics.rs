@@ -8,14 +8,24 @@ use stgraph_tensor::Tensor;
 pub fn mse(pred: &Tensor, target: &Tensor) -> f32 {
     assert_eq!(pred.shape(), target.shape());
     let n = pred.numel() as f32;
-    pred.data().iter().zip(target.data()).map(|(p, t)| (p - t) * (p - t)).sum::<f32>() / n
+    pred.data()
+        .iter()
+        .zip(target.data())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / n
 }
 
 /// Mean absolute error.
 pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
     assert_eq!(pred.shape(), target.shape());
     let n = pred.numel() as f32;
-    pred.data().iter().zip(target.data()).map(|(p, t)| (p - t).abs()).sum::<f32>() / n
+    pred.data()
+        .iter()
+        .zip(target.data())
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f32>()
+        / n
 }
 
 /// Root mean squared error.
@@ -64,8 +74,7 @@ pub fn roc_auc(logits: &Tensor, labels: &Tensor) -> f32 {
     if pos == 0.0 || neg == 0.0 {
         return 0.5;
     }
-    let rank_sum: f64 =
-        (0..n).filter(|&k| labels[k] > 0.5).map(|k| ranks[k]).sum();
+    let rank_sum: f64 = (0..n).filter(|&k| labels[k] > 0.5).map(|k| ranks[k]).sum();
     ((rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg)) as f32
 }
 

@@ -42,12 +42,7 @@ impl RecurrentCell for Box<dyn RecurrentCell> {
     }
 }
 
-fn hidden_or_zeros<'t>(
-    tape: &'t Tape,
-    h: Option<&Var<'t>>,
-    rows: usize,
-    width: usize,
-) -> Var<'t> {
+fn hidden_or_zeros<'t>(tape: &'t Tape, h: Option<&Var<'t>>, rows: usize, width: usize) -> Var<'t> {
     match h {
         Some(v) => v.clone(),
         None => tape.constant(Tensor::zeros((rows, width))),
@@ -81,9 +76,30 @@ impl Tgcn {
             conv_z: GcnConv::new(params, &format!("{name}.conv_z"), in_features, hidden, rng),
             conv_r: GcnConv::new(params, &format!("{name}.conv_r"), in_features, hidden, rng),
             conv_h: GcnConv::new(params, &format!("{name}.conv_h"), in_features, hidden, rng),
-            lin_z: Linear::new(params, &format!("{name}.lin_z"), 2 * hidden, hidden, true, rng),
-            lin_r: Linear::new(params, &format!("{name}.lin_r"), 2 * hidden, hidden, true, rng),
-            lin_h: Linear::new(params, &format!("{name}.lin_h"), 2 * hidden, hidden, true, rng),
+            lin_z: Linear::new(
+                params,
+                &format!("{name}.lin_z"),
+                2 * hidden,
+                hidden,
+                true,
+                rng,
+            ),
+            lin_r: Linear::new(
+                params,
+                &format!("{name}.lin_r"),
+                2 * hidden,
+                hidden,
+                true,
+                rng,
+            ),
+            lin_h: Linear::new(
+                params,
+                &format!("{name}.lin_h"),
+                2 * hidden,
+                hidden,
+                true,
+                rng,
+            ),
             hidden,
         }
     }
@@ -115,12 +131,21 @@ impl RecurrentCell for Tgcn {
         let n = x.value().rows();
         let h = hidden_or_zeros(tape, h, n, self.hidden);
         let cz = self.conv_z.forward(tape, exec, t, x);
-        let z = self.lin_z.forward(tape, &Var::concat_cols(&[&cz, &h])).sigmoid();
+        let z = self
+            .lin_z
+            .forward(tape, &Var::concat_cols(&[&cz, &h]))
+            .sigmoid();
         let cr = self.conv_r.forward(tape, exec, t, x);
-        let r = self.lin_r.forward(tape, &Var::concat_cols(&[&cr, &h])).sigmoid();
+        let r = self
+            .lin_r
+            .forward(tape, &Var::concat_cols(&[&cr, &h]))
+            .sigmoid();
         let ch = self.conv_h.forward(tape, exec, t, x);
         let rh = r.mul(&h);
-        let htilde = self.lin_h.forward(tape, &Var::concat_cols(&[&ch, &rh])).tanh();
+        let htilde = self
+            .lin_h
+            .forward(tape, &Var::concat_cols(&[&ch, &rh]))
+            .tanh();
         z.mul(&h).add(&z.one_minus().mul(&htilde))
     }
 }
@@ -319,9 +344,12 @@ impl A3Tgcn {
         rng: &mut impl Rng,
     ) -> A3Tgcn {
         let cell = Tgcn::new(params, &format!("{name}.tgcn"), in_features, hidden, rng);
-        let attention =
-            params.register(format!("{name}.attention"), Tensor::zeros((1, periods)));
-        A3Tgcn { cell, attention, periods }
+        let attention = params.register(format!("{name}.attention"), Tensor::zeros((1, periods)));
+        A3Tgcn {
+            cell,
+            attention,
+            periods,
+        }
     }
 
     /// Attention window length.
@@ -389,7 +417,8 @@ impl<'t> ScalarExt<'t> for Var<'t> {
         assert_eq!(self.value().numel(), 1);
         let v = self.value().reshape(stgraph_tensor::Shape::Scalar);
         let shape = self.value().shape();
-        self.tape().custom(&[self], v, move |g| vec![g.reshape(shape)])
+        self.tape()
+            .custom(&[self], v, move |g| vec![g.reshape(shape)])
     }
 }
 
@@ -481,7 +510,10 @@ mod tests {
         let loss = h2.square().sum();
         tape.backward(&loss);
         // Some gradient must reach the hidden-path ChebConv weights.
-        let total_grad: f32 = ps.iter().map(|p| p.grad().data().iter().map(|g| g.abs()).sum::<f32>()).sum();
+        let total_grad: f32 = ps
+            .iter()
+            .map(|p| p.grad().data().iter().map(|g| g.abs()).sum::<f32>())
+            .sum();
         assert!(total_grad > 0.0);
     }
 
@@ -520,7 +552,10 @@ mod tests {
         // With zero-initialised logits, attention is uniform: out equals the
         // mean of the three hidden states. Recompute them to verify.
         let tape2 = Tape::new();
-        let xs2: Vec<Var> = xs.iter().map(|x| tape2.constant(x.value().clone())).collect();
+        let xs2: Vec<Var> = xs
+            .iter()
+            .map(|x| tape2.constant(x.value().clone()))
+            .collect();
         let mut h = None;
         let mut acc: Option<Tensor> = None;
         let e2 = exec();

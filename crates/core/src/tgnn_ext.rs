@@ -47,7 +47,9 @@ pub fn walk_in_aggregation(width: usize) -> Program {
 fn inv_degree_tensor(deg: &[u32]) -> Tensor {
     Tensor::from_vec(
         (deg.len(), 1),
-        deg.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 }).collect(),
+        deg.iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
+            .collect(),
     )
 }
 
@@ -74,15 +76,36 @@ impl DConv {
     ) -> DConv {
         assert!(k >= 1);
         DConv {
-            w0: Linear::new(params, &format!("{name}.w0"), in_features, out_features, true, rng),
+            w0: Linear::new(
+                params,
+                &format!("{name}.w0"),
+                in_features,
+                out_features,
+                true,
+                rng,
+            ),
             w_out: (1..=k)
                 .map(|i| {
-                    Linear::new(params, &format!("{name}.wo{i}"), in_features, out_features, false, rng)
+                    Linear::new(
+                        params,
+                        &format!("{name}.wo{i}"),
+                        in_features,
+                        out_features,
+                        false,
+                        rng,
+                    )
                 })
                 .collect(),
             w_in: (1..=k)
                 .map(|i| {
-                    Linear::new(params, &format!("{name}.wi{i}"), in_features, out_features, false, rng)
+                    Linear::new(
+                        params,
+                        &format!("{name}.wi{i}"),
+                        in_features,
+                        out_features,
+                        false,
+                        rng,
+                    )
                 })
                 .collect(),
             prog_out: compile(walk_out_aggregation(in_features)),
@@ -106,8 +129,22 @@ impl DConv {
         let mut fwd_walk = x.clone();
         let mut bwd_walk = x.clone();
         for step in 0..self.k {
-            fwd_walk = exec.apply(tape, &self.prog_out, t, &[&fwd_walk], vec![inv_out.clone()], vec![]);
-            bwd_walk = exec.apply(tape, &self.prog_in, t, &[&bwd_walk], vec![inv_in.clone()], vec![]);
+            fwd_walk = exec.apply(
+                tape,
+                &self.prog_out,
+                t,
+                &[&fwd_walk],
+                vec![inv_out.clone()],
+                vec![],
+            );
+            bwd_walk = exec.apply(
+                tape,
+                &self.prog_in,
+                t,
+                &[&bwd_walk],
+                vec![inv_in.clone()],
+                vec![],
+            );
             out = out
                 .add(&self.w_out[step].forward(tape, &fwd_walk))
                 .add(&self.w_in[step].forward(tape, &bwd_walk));
@@ -252,12 +289,7 @@ impl EvolveGcnO {
     }
 
     /// One LSTM step evolving the weight: input = hidden = `w`.
-    fn evolve<'t>(
-        &self,
-        tape: &'t Tape,
-        w: &Var<'t>,
-        c: &Var<'t>,
-    ) -> (Var<'t>, Var<'t>) {
+    fn evolve<'t>(&self, tape: &'t Tape, w: &Var<'t>, c: &Var<'t>) -> (Var<'t>, Var<'t>) {
         let gate = |u: &Param, v: &Param, b: &Param| {
             let uu = tape.param(u);
             let vv = tape.param(v);
@@ -311,7 +343,16 @@ mod tests {
     fn exec() -> TemporalExecutor {
         let snap = Snapshot::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 3),
+                (2, 5),
+            ],
         );
         TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap))
     }
@@ -392,8 +433,9 @@ mod tests {
         let e = exec();
         let model = crate::train::NodeRegressor::new(&mut ps, cell, 1, &mut rng);
         let mut opt = Adam::new(ps, 0.01);
-        let feats: Vec<Tensor> =
-            (0..8).map(|_| Tensor::rand_uniform((6, 3), -1.0, 1.0, &mut rng)).collect();
+        let feats: Vec<Tensor> = (0..8)
+            .map(|_| Tensor::rand_uniform((6, 3), -1.0, 1.0, &mut rng))
+            .collect();
         let targets: Vec<Tensor> = feats
             .iter()
             .map(|x| x.sum_axis1().mul_scalar(1.0 / 3.0).reshape((6, 1)))
@@ -450,8 +492,9 @@ mod tests {
         let readout = Linear::new(&mut ps, "out", 3, 1, true, &mut rng);
         let e = exec();
         let mut opt = Adam::new(ps, 0.02);
-        let feats: Vec<Tensor> =
-            (0..4).map(|_| Tensor::rand_uniform((6, 3), -1.0, 1.0, &mut rng)).collect();
+        let feats: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::rand_uniform((6, 3), -1.0, 1.0, &mut rng))
+            .collect();
         let targets: Vec<Tensor> = feats
             .iter()
             .map(|x| x.sum_axis1().mul_scalar(1.0 / 3.0).reshape((6, 1)))

@@ -65,6 +65,9 @@ pub fn train_epoch_node_regression<C: RecurrentCell>(
 ) -> f32 {
     assert_eq!(features.len(), targets.len());
     assert!(seq_len >= 1);
+    // Epoch-level buffer-pool scope: activations and scratch recycle across
+    // every timestamp and sequence of this epoch, released on return.
+    let _pool = stgraph_tensor::PoolScope::new();
     let total = features.len();
     let mut carried: Option<Tensor> = None;
     let mut epoch_loss = 0.0f64;
@@ -87,7 +90,9 @@ pub fn train_epoch_node_regression<C: RecurrentCell>(
             h = Some(h_new);
             steps += 1;
         }
-        let loss = seq_loss.expect("non-empty sequence").mul_scalar(1.0 / (end - start) as f32);
+        let loss = seq_loss
+            .expect("non-empty sequence")
+            .mul_scalar(1.0 / (end - start) as f32);
         epoch_loss += loss.value().item() as f64 * (end - start) as f64;
         carried = h.map(|v| v.value().clone()); // detach across sequences
         tape.backward(&loss);
@@ -105,6 +110,7 @@ pub fn eval_node_regression<C: RecurrentCell>(
     targets: &[Tensor],
     seq_len: usize,
 ) -> f32 {
+    let _pool = stgraph_tensor::PoolScope::new();
     let total = features.len();
     let mut carried: Option<Tensor> = None;
     let mut sum = 0.0f64;
@@ -209,6 +215,7 @@ pub fn train_epoch_link_prediction<C: RecurrentCell>(
 ) -> f32 {
     let total = batches.len();
     assert!(seq_len >= 1);
+    let _pool = stgraph_tensor::PoolScope::new();
     let mut carried: Option<Tensor> = None;
     let mut epoch_loss = 0.0f64;
     let mut start = 0usize;
@@ -218,6 +225,7 @@ pub fn train_epoch_link_prediction<C: RecurrentCell>(
         let tape = Tape::new();
         let mut h: Option<Var> = carried.take().map(|t| tape.constant(t));
         let mut seq_loss: Option<Var> = None;
+        #[allow(clippy::needless_range_loop)] // t is a timestamp, not just an index
         for t in start..end {
             let x = tape.constant(features.clone());
             let h_new = cell.step(&tape, exec, t, &x, h.as_ref());
@@ -249,6 +257,7 @@ pub fn eval_link_prediction<C: RecurrentCell>(
     batches: &[LinkPredBatch],
     seq_len: usize,
 ) -> (f32, f32, f32) {
+    let _pool = stgraph_tensor::PoolScope::new();
     let total = batches.len();
     let mut carried: Option<Tensor> = None;
     let mut loss_sum = 0.0f64;
@@ -260,6 +269,7 @@ pub fn eval_link_prediction<C: RecurrentCell>(
         let tape = Tape::new();
         let mut h: Option<Var> = carried.take().map(|t| tape.constant(t));
         let mut seq_loss: Option<Var> = None;
+        #[allow(clippy::needless_range_loop)] // t is a timestamp, not just an index
         for t in start..end {
             let x = tape.constant(features.clone());
             let h_new = cell.step(&tape, exec, t, &x, h.as_ref());
@@ -300,19 +310,22 @@ mod tests {
     use stgraph_graph::base::Snapshot;
 
     fn ring_snapshot(n: usize) -> Snapshot {
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         Snapshot::from_edges(n, &edges)
     }
 
     fn static_exec(n: usize) -> TemporalExecutor {
-        TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(ring_snapshot(n)))
+        TemporalExecutor::new(
+            create_backend("seastar"),
+            GraphSource::Static(ring_snapshot(n)),
+        )
     }
 
     fn synthetic_signal(n: usize, f: usize, t: usize, seed: u64) -> (Vec<Tensor>, Vec<Tensor>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let feats: Vec<Tensor> =
-            (0..t).map(|_| Tensor::rand_uniform((n, f), -1.0, 1.0, &mut rng)).collect();
+        let feats: Vec<Tensor> = (0..t)
+            .map(|_| Tensor::rand_uniform((n, f), -1.0, 1.0, &mut rng))
+            .collect();
         // Learnable target: mean of own features (per node) — solvable by a
         // TGCN with enough epochs.
         let targets: Vec<Tensor> = feats
@@ -363,8 +376,9 @@ mod tests {
 
     fn dtdg_source(n: u32, t: usize, seed: u64) -> DtdgSource {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut cur: std::collections::BTreeSet<(u32, u32)> =
-            (0..3 * n).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let mut cur: std::collections::BTreeSet<(u32, u32)> = (0..3 * n)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
         let mut snaps = vec![cur.iter().copied().collect::<Vec<_>>()];
         for _ in 1..t {
             let removals: Vec<(u32, u32)> =
@@ -432,14 +446,15 @@ mod tests {
             let exec = TemporalExecutor::new(create_backend("seastar"), source);
             let mut opt = Adam::new(ps, 0.01);
             (0..3)
-                .map(|_| {
-                    train_epoch_link_prediction(&cell, &exec, &mut opt, &feats, &batches, 3)
-                })
+                .map(|_| train_epoch_link_prediction(&cell, &exec, &mut opt, &feats, &batches, 3))
                 .collect()
         };
-        let naive =
-            run(GraphSource::Dynamic(Rc::new(RefCell::new(NaiveGraph::new(&src)))));
-        let gpma = run(GraphSource::Dynamic(Rc::new(RefCell::new(GpmaGraph::new(&src)))));
+        let naive = run(GraphSource::Dynamic(Rc::new(RefCell::new(
+            NaiveGraph::new(&src),
+        ))));
+        let gpma = run(GraphSource::Dynamic(Rc::new(RefCell::new(GpmaGraph::new(
+            &src,
+        )))));
         for (a, b) in naive.iter().zip(&gpma) {
             assert!((a - b).abs() < 1e-3, "naive {a} vs gpma {b}");
         }

@@ -40,9 +40,9 @@ pub fn load_dynamic(name: &str, scale: usize) -> TemporalEdgeList {
     let meta = info(name);
     let n = (meta.num_nodes / scale).max(16);
     let m = (meta.num_edges / scale).max(64);
-    let mut rng = ChaCha8Rng::seed_from_u64(
-        name.bytes().fold(0x00dd_11u64, |a, b| a.wrapping_mul(167).wrapping_add(b as u64)),
-    );
+    let mut rng = ChaCha8Rng::seed_from_u64(name.bytes().fold(0xdd11_u64, |a, b| {
+        a.wrapping_mul(167).wrapping_add(b as u64)
+    }));
     // Heavier tail for the Q&A networks (few very active answerers);
     // flatter for wiki-talk / reddit.
     let exponent = match meta.code {
@@ -65,7 +65,11 @@ pub fn load_dynamic(name: &str, scale: usize) -> TemporalEdgeList {
         }
         edges.push((u, v));
     }
-    TemporalEdgeList { name: name.to_string(), num_nodes: n, edges }
+    TemporalEdgeList {
+        name: name.to_string(),
+        num_nodes: n,
+        edges,
+    }
 }
 
 impl TemporalEdgeList {
@@ -143,8 +147,19 @@ mod tests {
     fn activity_grows_over_time() {
         let d = load_dynamic("sx-stackoverflow", 500);
         let m = d.edges.len();
-        let early_max = d.edges[..m / 10].iter().map(|&(u, v)| u.max(v)).max().unwrap();
-        let late_max = d.edges[m - m / 10..].iter().map(|&(u, v)| u.max(v)).max().unwrap();
-        assert!(late_max > early_max, "node set should grow: {early_max} vs {late_max}");
+        let early_max = d.edges[..m / 10]
+            .iter()
+            .map(|&(u, v)| u.max(v))
+            .max()
+            .unwrap();
+        let late_max = d.edges[m - m / 10..]
+            .iter()
+            .map(|&(u, v)| u.max(v))
+            .max()
+            .unwrap();
+        assert!(
+            late_max > early_max,
+            "node set should grow: {early_max} vs {late_max}"
+        );
     }
 }

@@ -67,7 +67,10 @@ pub fn read_snap_temporal(
         edges.push((si, di));
     }
     Ok(TemporalEdgeList {
-        name: path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
+        name: path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
         num_nodes: relabel.len(),
         edges,
     })
@@ -77,7 +80,13 @@ pub fn read_snap_temporal(
 /// indices).
 pub fn write_snap_temporal(path: &Path, list: &TemporalEdgeList) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "# {} nodes={} events={}", list.name, list.num_nodes, list.edges.len())?;
+    writeln!(
+        f,
+        "# {} nodes={} events={}",
+        list.name,
+        list.num_nodes,
+        list.edges.len()
+    )?;
     for (i, &(s, d)) in list.edges.iter().enumerate() {
         writeln!(f, "{s} {d} {i}")?;
     }
@@ -108,7 +117,11 @@ pub fn read_signal_csv(
                 if v.len() != num_nodes {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
-                        format!("line {}: {} columns, expected {num_nodes}", lineno + 1, v.len()),
+                        format!(
+                            "line {}: {} columns, expected {num_nodes}",
+                            lineno + 1,
+                            v.len()
+                        ),
                     ));
                 }
                 rows.push(v);
@@ -142,7 +155,10 @@ pub fn read_signal_csv(
         targets.push(Tensor::from_vec((num_nodes, 1), rows[t + lags].clone()));
     }
     Ok(StaticTemporalDataset {
-        name: csv_path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
+        name: csv_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
         graph: StaticGraph::new(num_nodes, edges),
         features,
         targets,
@@ -199,8 +215,7 @@ mod tests {
     fn csv_loader_builds_lagged_dataset() {
         let path = tmp("signal.csv");
         std::fs::write(&path, "a,b,c\n1,2,3\n4,5,6\n7,8,9\n10,11,12\n").unwrap();
-        let ds =
-            read_signal_csv(&path, 3, vec![(0, 1), (1, 2)], 2).unwrap();
+        let ds = read_signal_csv(&path, 3, vec![(0, 1), (1, 2)], 2).unwrap();
         assert_eq!(ds.num_timestamps(), 2);
         assert_eq!(ds.lags, 2);
         // t=0 features: node0 lags [1, 4]; target = 7.

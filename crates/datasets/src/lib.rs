@@ -76,7 +76,13 @@ pub fn table2() -> Vec<DatasetInfo> {
             num_edges: 690,
             kind: StaticTemporal,
         },
-        DatasetInfo { name: "pedal-me", code: "PM", num_nodes: 15, num_edges: 225, kind: StaticTemporal },
+        DatasetInfo {
+            name: "pedal-me",
+            code: "PM",
+            num_nodes: 15,
+            num_edges: 225,
+            kind: StaticTemporal,
+        },
         DatasetInfo {
             name: "wiki-talk-temporal",
             code: "WT",
@@ -131,7 +137,12 @@ mod tests {
     fn table2_has_ten_rows_split_five_five() {
         let t = table2();
         assert_eq!(t.len(), 10);
-        assert_eq!(t.iter().filter(|d| d.kind == GraphKind::StaticTemporal).count(), 5);
+        assert_eq!(
+            t.iter()
+                .filter(|d| d.kind == GraphKind::StaticTemporal)
+                .count(),
+            5
+        );
         assert_eq!(t.iter().filter(|d| d.kind == GraphKind::Dynamic).count(), 5);
     }
 

@@ -44,8 +44,9 @@ impl StaticTemporalDataset {
 
 /// Deterministic seed per dataset name.
 fn seed_for(name: &str) -> u64 {
-    name.bytes()
-        .fold(0x5742_9af1_u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
+    name.bytes().fold(0x5742_9af1_u64, |acc, b| {
+        acc.wrapping_mul(131).wrapping_add(b as u64)
+    })
 }
 
 /// Generates the fixed edge structure for a static dataset.
@@ -96,7 +97,9 @@ pub fn load_static(name: &str, lags: usize, num_timestamps: usize) -> StaticTemp
 
     // Per-node seasonal parameters.
     let period: Vec<f32> = (0..n).map(|_| rng.gen_range(6.0..48.0)).collect();
-    let phase: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
+    let phase: Vec<f32> = (0..n)
+        .map(|_| rng.gen_range(0.0..std::f32::consts::TAU))
+        .collect();
     let amp: Vec<f32> = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
 
     // Raw signal: seasonal + AR(1) noise, then one diffusion step over the
@@ -139,7 +142,13 @@ pub fn load_static(name: &str, lags: usize, num_timestamps: usize) -> StaticTemp
         targets.push(Tensor::from_vec((n, 1), raw[t + lags].clone()));
     }
 
-    StaticTemporalDataset { name: name.to_string(), graph, features, targets, lags }
+    StaticTemporalDataset {
+        name: name.to_string(),
+        graph,
+        features,
+        targets,
+        lags,
+    }
 }
 
 #[cfg(test)]

@@ -166,16 +166,14 @@ mod tests {
     fn random_source(seed: u64, n: u32, t: usize) -> DtdgSource {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut snaps = Vec::new();
-        let mut cur: std::collections::BTreeSet<(u32, u32)> =
-            (0..200).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let mut cur: std::collections::BTreeSet<(u32, u32)> = (0..200)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
         snaps.push(cur.iter().copied().collect::<Vec<_>>());
         for _ in 1..t {
             // ~10% churn.
-            let removals: Vec<(u32, u32)> = cur
-                .iter()
-                .copied()
-                .filter(|_| rng.gen_bool(0.1))
-                .collect();
+            let removals: Vec<(u32, u32)> =
+                cur.iter().copied().filter(|_| rng.gen_bool(0.1)).collect();
             for r in &removals {
                 cur.remove(r);
             }
@@ -204,7 +202,9 @@ mod tests {
         let src = random_source(5, 50, 6);
         let mut gpma = GpmaGraph::new(&src);
         let mut naive = NaiveGraph::new(&src);
-        let fwd: Vec<Snapshot> = (0..src.num_timestamps()).map(|t| gpma.get_graph(t)).collect();
+        let fwd: Vec<Snapshot> = (0..src.num_timestamps())
+            .map(|t| gpma.get_graph(t))
+            .collect();
         for t in (0..src.num_timestamps()).rev() {
             let b = gpma.get_backward_graph(t);
             assert!(b.same_structure(&fwd[t]), "backward divergence at t={t}");
@@ -257,8 +257,12 @@ mod tests {
         let src = random_source(9, 30, 4);
         let mut g = GpmaGraph::new(&src);
         let s = g.get_graph(2);
-        let fwd: std::collections::HashMap<u32, (u32, u32)> =
-            s.csr.triples().into_iter().map(|(a, b, e)| (e, (a, b))).collect();
+        let fwd: std::collections::HashMap<u32, (u32, u32)> = s
+            .csr
+            .triples()
+            .into_iter()
+            .map(|(a, b, e)| (e, (a, b)))
+            .collect();
         for (dst, src_v, e) in s.reverse_csr.triples() {
             assert_eq!(fwd[&e], (src_v, dst));
         }

@@ -25,7 +25,11 @@ impl NaiveGraph {
             .iter()
             .map(|edges| Snapshot::from_edges(source.num_nodes, edges))
             .collect();
-        NaiveGraph { num_nodes: source.num_nodes, snapshots, update_time: Duration::ZERO }
+        NaiveGraph {
+            num_nodes: source.num_nodes,
+            snapshots,
+            update_time: Duration::ZERO,
+        }
     }
 
     /// Direct snapshot access (tests).
@@ -85,8 +89,7 @@ mod tests {
         assert_eq!(g.num_nodes(), 4);
         for (t, edges) in source().snapshots.iter().enumerate() {
             let s = g.get_graph(t);
-            let got: Vec<(u32, u32)> =
-                s.csr.triples().iter().map(|&(a, b, _)| (a, b)).collect();
+            let got: Vec<(u32, u32)> = s.csr.triples().iter().map(|&(a, b, _)| (a, b)).collect();
             assert_eq!(&got, edges, "timestamp {t}");
         }
     }

@@ -60,7 +60,10 @@ impl DtdgSource {
                 set.into_iter().collect()
             })
             .collect();
-        DtdgSource { num_nodes, snapshots }
+        DtdgSource {
+            num_nodes,
+            snapshots,
+        }
     }
 
     /// The paper's preprocessing: slide a half-length window over a
@@ -153,10 +156,8 @@ mod tests {
 
     #[test]
     fn from_snapshot_edges_dedups_and_sorts() {
-        let src = DtdgSource::from_snapshot_edges(
-            4,
-            vec![vec![(1, 2), (0, 1), (1, 2)], vec![(3, 0)]],
-        );
+        let src =
+            DtdgSource::from_snapshot_edges(4, vec![vec![(1, 2), (0, 1), (1, 2)], vec![(3, 0)]]);
         assert_eq!(src.snapshots[0], vec![(0, 1), (1, 2)]);
         assert_eq!(src.num_timestamps(), 2);
     }
@@ -177,7 +178,9 @@ mod tests {
 
     #[test]
     fn windowed_builder_first_snapshot_is_half() {
-        let edges: Vec<(u32, u32)> = (0..100).map(|i| (i as u32 % 10, (i as u32 * 7) % 10)).collect();
+        let edges: Vec<(u32, u32)> = (0..100)
+            .map(|i| (i as u32 % 10, (i as u32 * 7) % 10))
+            .collect();
         let src = DtdgSource::from_temporal_edges(10, &edges, 10.0);
         // Window = 50 raw edges (snapshot is the dedup'd set of those).
         assert!(src.num_timestamps() > 2);

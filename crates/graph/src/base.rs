@@ -160,16 +160,19 @@ impl STGraphBase for StaticGraph {
 /// GCN symmetric normalisation with self-loops: `1 / sqrt(1 + in_degree)`.
 /// Matches PyG's `GCNConv(add_self_loops=True)` on directed graphs.
 pub fn gcn_norm(in_degrees: &[u32]) -> Vec<f32> {
-    in_degrees.iter().map(|&d| 1.0 / ((1.0 + d as f32).sqrt())).collect()
+    in_degrees
+        .iter()
+        .map(|&d| 1.0 / ((1.0 + d as f32).sqrt()))
+        .collect()
 }
 
 /// Oracle helper: dense adjacency from a snapshot (tests only; O(n²)).
 pub fn dense_adjacency(s: &Snapshot) -> Vec<Vec<f32>> {
     let n = s.num_nodes();
     let mut a = vec![vec![0.0f32; n]; n];
-    for i in 0..n {
+    for (i, row) in a.iter_mut().enumerate() {
         for (d, _) in s.csr.iter_row(i) {
-            a[i][d as usize] += 1.0;
+            row[d as usize] += 1.0;
         }
     }
     a
@@ -197,8 +200,12 @@ mod tests {
     #[test]
     fn forward_and_backward_share_edge_labels() {
         let s = diamond();
-        let fwd: std::collections::HashMap<u32, (u32, u32)> =
-            s.csr.triples().into_iter().map(|(a, b, e)| (e, (a, b))).collect();
+        let fwd: std::collections::HashMap<u32, (u32, u32)> = s
+            .csr
+            .triples()
+            .into_iter()
+            .map(|(a, b, e)| (e, (a, b)))
+            .collect();
         for (dst, src, e) in s.reverse_csr.triples() {
             assert_eq!(fwd[&e], (src, dst));
         }

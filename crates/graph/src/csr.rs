@@ -60,7 +60,14 @@ impl Csr {
             + col_indices.len() * std::mem::size_of::<u32>()
             + eids.len() * std::mem::size_of::<u32>()
             + node_ids.len() * std::mem::size_of::<u32>();
-        Csr { row_offset, col_indices, eids, node_ids, num_edges, charge: BytesCharge::new(bytes) }
+        Csr {
+            row_offset,
+            col_indices,
+            eids,
+            node_ids,
+            num_edges,
+            charge: BytesCharge::new(bytes),
+        }
     }
 
     /// Builds an out-neighbour CSR from a COO edge list, labelling edge `e`
@@ -115,7 +122,9 @@ impl Csr {
 
     /// Degrees of all vertices (valid slots only).
     pub fn degrees(&self) -> Vec<u32> {
-        (0..self.num_nodes()).map(|i| self.degree(i) as u32).collect()
+        (0..self.num_nodes())
+            .map(|i| self.degree(i) as u32)
+            .collect()
     }
 
     /// Bytes charged against the memory tracker for this CSR.
@@ -185,7 +194,7 @@ pub fn reverse_csr(g: &Csr, in_degrees: &[u32]) -> Csr {
                 }
             }
         };
-        if m >= 1 << 12 {
+        if m >= stgraph_tensor::par_min() {
             (0..n).into_par_iter().for_each(body);
         } else {
             (0..n).for_each(body);
@@ -296,8 +305,11 @@ mod tests {
         assert!(same_rows(&rev_par, &rev_seq));
         // Shared labels: eid e appears exactly once in each CSR, linking the
         // same (src, dst).
-        let fwd: std::collections::HashMap<u32, (u32, u32)> =
-            g.triples().into_iter().map(|(s, d, e)| (e, (s, d))).collect();
+        let fwd: std::collections::HashMap<u32, (u32, u32)> = g
+            .triples()
+            .into_iter()
+            .map(|(s, d, e)| (e, (s, d)))
+            .collect();
         for (d, s, e) in rev_par.triples() {
             assert_eq!(fwd[&e], (s, d), "edge {e} disagrees between CSRs");
         }

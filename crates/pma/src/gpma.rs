@@ -45,7 +45,10 @@ pub struct Gpma {
 impl Gpma {
     /// An empty graph over `num_nodes` vertices.
     pub fn new(num_nodes: usize) -> Gpma {
-        Gpma { pma: Pma::new(), num_nodes }
+        Gpma {
+            pma: Pma::new(),
+            num_nodes,
+        }
     }
 
     /// Builds a graph from an initial (base) edge list and labels its edges.
@@ -79,8 +82,10 @@ impl Gpma {
     /// Batch edge insertion (duplicates of existing edges are no-ops apart
     /// from the value overwrite; edge ids are stale until relabelled).
     pub fn insert_edges(&mut self, edges: &[(u32, u32)]) {
-        let items: Vec<(u64, u32)> =
-            edges.iter().map(|&(s, d)| (edge_key(s, d), u32::MAX)).collect();
+        let items: Vec<(u64, u32)> = edges
+            .iter()
+            .map(|&(s, d)| (edge_key(s, d), u32::MAX))
+            .collect();
         self.pma.insert_batch(&items);
     }
 
@@ -119,7 +124,10 @@ impl Gpma {
     /// A deep copy with its own memory charge (the Algorithm-2 cache).
     pub fn clone_state(&self) -> Gpma {
         let items: Vec<(u64, u32)> = self.pma.iter().collect();
-        Gpma { pma: Pma::from_sorted(&items), num_nodes: self.num_nodes }
+        Gpma {
+            pma: Pma::from_sorted(&items),
+            num_nodes: self.num_nodes,
+        }
     }
 
     /// Materialises the gapped out-CSR over the current PMA slots, plus the
@@ -238,8 +246,9 @@ mod tests {
         let mut g = Gpma::new(n as usize);
         let mut set = BTreeSet::new();
         for _ in 0..5 {
-            let batch: Vec<(u32, u32)> =
-                (0..300).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+            let batch: Vec<(u32, u32)> = (0..300)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
             g.insert_edges(&batch);
             set.extend(batch);
             g.pma().check_invariants();

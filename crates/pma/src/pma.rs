@@ -74,7 +74,10 @@ impl Pma {
 
     /// Builds a PMA from strictly-sorted `(key, value)` pairs.
     pub fn from_sorted(items: &[(u64, u32)]) -> Pma {
-        debug_assert!(items.windows(2).all(|w| w[0].0 < w[1].0), "from_sorted: keys not strict");
+        debug_assert!(
+            items.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted: keys not strict"
+        );
         let mut pma = Pma::new();
         pma.rebuild_with(items.to_vec());
         pma
@@ -280,10 +283,10 @@ impl Pma {
         // forces a rebalance of *this* window (which is known to fit).
         let child_tau = self.tau(level - 1);
         let half = (hi - lo) / 2;
-        let left_over = (self.count_valid(lo, mid) + left_items.len()) as f64 / half as f64
-            > child_tau;
-        let right_over = (self.count_valid(mid, hi) + right_items.len()) as f64 / half as f64
-            > child_tau;
+        let left_over =
+            (self.count_valid(lo, mid) + left_items.len()) as f64 / half as f64 > child_tau;
+        let right_over =
+            (self.count_valid(mid, hi) + right_items.len()) as f64 / half as f64 > child_tau;
         if left_over || right_over {
             let mut all: Vec<(u64, u32)> = self.collect_window(lo, hi);
             left_items.append(&mut right_items);
@@ -300,7 +303,10 @@ impl Pma {
     fn merge_into_segment(&mut self, lo: usize, hi: usize, items: &[(u64, u32)]) {
         let existing = self.collect_window(lo, hi);
         let merged = merge_sorted(&existing, items);
-        debug_assert!(merged.len() <= hi - lo, "segment overflow: caller must rebalance");
+        debug_assert!(
+            merged.len() <= hi - lo,
+            "segment overflow: caller must rebalance"
+        );
         self.write_spread(lo, hi, &merged);
     }
 
@@ -421,8 +427,11 @@ impl Pma {
     /// geometry, or per-window density bounds (leaf bounds get slack because
     /// a freshly-rebalanced sibling may sit right at the edge).
     pub fn check_invariants(&self) {
-        assert!(self.capacity().is_power_of_two(), "capacity must be a power of two");
-        assert!(self.seg_len.is_power_of_two() && self.capacity() % self.seg_len == 0);
+        assert!(
+            self.capacity().is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        assert!(self.seg_len.is_power_of_two() && self.capacity().is_multiple_of(self.seg_len));
         let valid: Vec<u64> = self.keys.iter().copied().filter(|&k| k != EMPTY).collect();
         assert_eq!(valid.len(), self.n_elems, "element count drifted");
         assert!(valid.windows(2).all(|w| w[0] < w[1]), "keys out of order");
@@ -479,7 +488,10 @@ mod tests {
         assert_eq!(pma.get(1), Some(10));
         assert_eq!(pma.get(9), Some(90));
         assert_eq!(pma.get(2), None);
-        assert_eq!(pma.iter().collect::<Vec<_>>(), vec![(1, 10), (5, 50), (9, 90)]);
+        assert_eq!(
+            pma.iter().collect::<Vec<_>>(),
+            vec![(1, 10), (5, 50), (9, 90)]
+        );
         pma.check_invariants();
     }
 
@@ -512,8 +524,9 @@ mod tests {
         let mut model: BTreeMap<u64, u32> = BTreeMap::new();
         for round in 0..30 {
             let n_ins = rng.gen_range(1..200);
-            let ins: Vec<(u64, u32)> =
-                (0..n_ins).map(|_| (rng.gen_range(0..5000u64), round)).collect();
+            let ins: Vec<(u64, u32)> = (0..n_ins)
+                .map(|_| (rng.gen_range(0..5000u64), round))
+                .collect();
             pma.insert_batch(&ins);
             let mut sorted = ins.clone();
             sorted.sort_unstable_by_key(|&(k, _)| k);
@@ -524,8 +537,7 @@ mod tests {
             // Delete a random subset of present keys plus some absent ones.
             let present: Vec<u64> = model.keys().copied().collect();
             let n_del = rng.gen_range(0..present.len().max(1));
-            let mut dels: Vec<u64> =
-                present.choose_multiple(&mut rng, n_del).copied().collect();
+            let mut dels: Vec<u64> = present.choose_multiple(&mut rng, n_del).copied().collect();
             dels.push(999_999); // absent
             pma.delete_batch(&dels);
             for d in &dels {
@@ -558,7 +570,12 @@ mod tests {
         pma.insert_batch(&items);
         let big_cap = pma.capacity();
         pma.delete_batch(&(0..4000u64).collect::<Vec<_>>());
-        assert!(pma.capacity() < big_cap, "should shrink: {} vs {}", pma.capacity(), big_cap);
+        assert!(
+            pma.capacity() < big_cap,
+            "should shrink: {} vs {}",
+            pma.capacity(),
+            big_cap
+        );
         assert_eq!(pma.len(), 96);
         pma.check_invariants();
     }
@@ -576,8 +593,9 @@ mod tests {
         // Repeatedly prepend smaller keys: stresses left-edge rebalancing.
         let mut pma = Pma::new();
         for chunk in (0..20).rev() {
-            let items: Vec<(u64, u32)> =
-                (0..50).map(|i| (chunk * 50 + i, (chunk * 50 + i) as u32)).collect();
+            let items: Vec<(u64, u32)> = (0..50)
+                .map(|i| (chunk * 50 + i, (chunk * 50 + i) as u32))
+                .collect();
             pma.insert_batch(&items);
             pma.check_invariants();
         }

@@ -377,7 +377,16 @@ mod tests {
     fn snap() -> Snapshot {
         Snapshot::from_edges(
             5,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (0, 3), (2, 4), (1, 4), (4, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (0, 3),
+                (2, 4),
+                (1, 4),
+                (4, 0),
+            ],
         )
     }
 
@@ -410,8 +419,14 @@ mod tests {
             }
         }
         let b_edge_consts: Vec<&Tensor> = edge_vals.iter().collect();
-        let bexec =
-            execute(&plan.program, graph, &[grad_out], &b_node_consts, &b_edge_consts, &[]);
+        let bexec = execute(
+            &plan.program,
+            graph,
+            &[grad_out],
+            &b_node_consts,
+            &b_edge_consts,
+            &[],
+        );
         plan.input_grads
             .iter()
             .map(|ig| ig.map(|idx| bexec.outputs[idx].clone()))
@@ -440,7 +455,9 @@ mod tests {
                 ins[slot] = t.clone();
                 let refs: Vec<&Tensor> = ins.iter().collect();
                 let consts: Vec<&Tensor> = node_consts.iter().collect();
-                let out = execute(prog, graph, &refs, &consts, &[], &[]).outputs.remove(0);
+                let out = execute(prog, graph, &refs, &consts, &[], &[])
+                    .outputs
+                    .remove(0);
                 out.mul(&seed).sum().item()
             };
             let numeric =
@@ -454,10 +471,17 @@ mod tests {
         let prog = gcn_aggregation(4);
         let plan = differentiate(&prog);
         assert!(plan.edge_saves.is_empty(), "GCN must not save edge tensors");
-        assert!(plan.node_saves.is_empty(), "GCN backward needs no saved activations");
+        assert!(
+            plan.node_saves.is_empty(),
+            "GCN backward needs no saved activations"
+        );
         assert_eq!(plan.input_grads, vec![Some(0)]);
         // Backward aggregates over out-edges: contains an AggSumSrc.
-        assert!(plan.program.nodes.iter().any(|n| matches!(n.op, Op::AggSumSrc(_))));
+        assert!(plan
+            .program
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, Op::AggSumSrc(_))));
     }
 
     #[test]
@@ -473,7 +497,10 @@ mod tests {
     #[test]
     fn gat_gradcheck() {
         let g = snap();
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        // Seed chosen so no leaky_relu pre-activation lands within the
+        // finite-difference step of the kink, where numeric gradients are
+        // meaningless.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
         let f = 3;
         let h = Tensor::rand_uniform((5, f), -1.0, 1.0, &mut rng);
         let el = Tensor::rand_uniform((5, 1), -1.0, 1.0, &mut rng);
@@ -488,7 +515,11 @@ mod tests {
         let prog = gat_aggregation(16, 0.2);
         let plan = differentiate(&prog);
         for &id in &plan.edge_saves {
-            assert_eq!(prog.node(id).width, 1, "only scalar edge values may be saved");
+            assert_eq!(
+                prog.node(id).width,
+                1,
+                "only scalar edge values may be saved"
+            );
         }
         for s in &plan.node_saves {
             match s {

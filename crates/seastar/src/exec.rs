@@ -13,7 +13,8 @@ use crate::ir::{Id, Op, Program, Space};
 use rayon::prelude::*;
 use stgraph_graph::base::STGraphBase;
 use stgraph_graph::csr::Csr;
-use stgraph_tensor::{Shape, Tensor};
+use stgraph_tensor::mem::{self, TrackedBuf};
+use stgraph_tensor::{par_min, Shape, Tensor};
 
 /// Binary edge-op kinds.
 #[derive(Debug, Clone, Copy)]
@@ -35,13 +36,37 @@ enum Instr {
     /// Copy row `eid` of edge tensor `t`.
     LoadEdge { t: usize, out: usize, w: usize },
     /// `out = a (op) b` with width-1 broadcast on either side.
-    Bin { k: BinKind, a: usize, wa: usize, b: usize, wb: usize, out: usize, w: usize },
+    Bin {
+        k: BinKind,
+        a: usize,
+        wa: usize,
+        b: usize,
+        wb: usize,
+        out: usize,
+        w: usize,
+    },
     /// `out = a * c`.
-    Scale { a: usize, c: f32, out: usize, w: usize },
+    Scale {
+        a: usize,
+        c: f32,
+        out: usize,
+        w: usize,
+    },
     /// `out = leaky_relu(a)`.
-    LeakyRelu { a: usize, slope: f32, out: usize, w: usize },
+    LeakyRelu {
+        a: usize,
+        slope: f32,
+        out: usize,
+        w: usize,
+    },
     /// `out = g * leaky_relu'(x)`.
-    LeakyReluGrad { g: usize, x: usize, slope: f32, out: usize, w: usize },
+    LeakyReluGrad {
+        g: usize,
+        x: usize,
+        slope: f32,
+        out: usize,
+        w: usize,
+    },
     /// `out = exp(a)`.
     Exp { a: usize, out: usize, w: usize },
     /// `out = sigmoid(a)`.
@@ -115,7 +140,11 @@ impl<'p, 'a> EdgeCompiler<'p, 'a> {
             return rw;
         }
         let node = self.prog.node(id);
-        debug_assert_eq!(node.space, Space::Edge, "edge plan reached a node-space value");
+        debug_assert_eq!(
+            node.space,
+            Space::Edge,
+            "edge plan reached a node-space value"
+        );
         let w = node.width;
         let rw = match node.op {
             Op::GatherSrc(v) => {
@@ -146,7 +175,15 @@ impl<'p, 'a> EdgeCompiler<'p, 'a> {
                 let (ra, wa) = self.compile(a);
                 let (rb, wb) = self.compile(b);
                 let out = self.alloc(w);
-                self.plan_instrs.push(Instr::Bin { k, a: ra, wa, b: rb, wb, out, w });
+                self.plan_instrs.push(Instr::Bin {
+                    k,
+                    a: ra,
+                    wa,
+                    b: rb,
+                    wb,
+                    out,
+                    w,
+                });
                 (out, w)
             }
             Op::Scale(a, c) => {
@@ -158,14 +195,25 @@ impl<'p, 'a> EdgeCompiler<'p, 'a> {
             Op::LeakyRelu(a, slope) => {
                 let (ra, _) = self.compile(a);
                 let out = self.alloc(w);
-                self.plan_instrs.push(Instr::LeakyRelu { a: ra, slope, out, w });
+                self.plan_instrs.push(Instr::LeakyRelu {
+                    a: ra,
+                    slope,
+                    out,
+                    w,
+                });
                 (out, w)
             }
             Op::LeakyReluGrad(g, x, slope) => {
                 let (rg, _) = self.compile(g);
                 let (rx, _) = self.compile(x);
                 let out = self.alloc(w);
-                self.plan_instrs.push(Instr::LeakyReluGrad { g: rg, x: rx, slope, out, w });
+                self.plan_instrs.push(Instr::LeakyReluGrad {
+                    g: rg,
+                    x: rx,
+                    slope,
+                    out,
+                    w,
+                });
                 (out, w)
             }
             Op::Exp(a) => {
@@ -195,10 +243,14 @@ impl<'p, 'a> EdgeCompiler<'p, 'a> {
             Op::BroadcastFeat(a, _) => {
                 let (ra, _) = self.compile(a);
                 let out = self.alloc(w);
-                self.plan_instrs.push(Instr::BroadcastFeat { a: ra, out, w });
+                self.plan_instrs
+                    .push(Instr::BroadcastFeat { a: ra, out, w });
                 (out, w)
             }
-            Op::NodeInput(_) | Op::NodeConst(_) | Op::AggSumDst(_) | Op::AggSumSrc(_)
+            Op::NodeInput(_)
+            | Op::NodeConst(_)
+            | Op::AggSumDst(_)
+            | Op::AggSumSrc(_)
             | Op::AggMaxDst(_) => {
                 unreachable!("node-space op inside an edge plan")
             }
@@ -208,8 +260,8 @@ impl<'p, 'a> EdgeCompiler<'p, 'a> {
     }
 }
 
-fn compile_edge_plan<'p, 'a>(
-    prog: &'p Program,
+fn compile_edge_plan<'a>(
+    prog: &Program,
     root: Id,
     values: &'a [Option<Tensor>],
     edge_consts: &'a [&'a Tensor],
@@ -255,7 +307,15 @@ impl EdgePlan<'_> {
                     let d = self.edge_tensors[t].data();
                     scratch[out..out + w].copy_from_slice(&d[eid * w..eid * w + w]);
                 }
-                Instr::Bin { k, a, wa, b, wb, out, w } => {
+                Instr::Bin {
+                    k,
+                    a,
+                    wa,
+                    b,
+                    wb,
+                    out,
+                    w,
+                } => {
                     for j in 0..w {
                         let av = scratch[a + if wa == 1 { 0 } else { j }];
                         let bv = scratch[b + if wb == 1 { 0 } else { j }];
@@ -278,7 +338,13 @@ impl EdgePlan<'_> {
                         scratch[out + j] = if x >= 0.0 { x } else { slope * x };
                     }
                 }
-                Instr::LeakyReluGrad { g, x, slope, out, w } => {
+                Instr::LeakyReluGrad {
+                    g,
+                    x,
+                    slope,
+                    out,
+                    w,
+                } => {
                     for j in 0..w {
                         let d = if scratch[x + j] >= 0.0 { 1.0 } else { slope };
                         scratch[out + j] = scratch[g + j] * d;
@@ -319,23 +385,65 @@ enum AggKind {
     MaxDst,
 }
 
-/// Runs a fused aggregation kernel: vertex-parallel over the appropriate
-/// CSR in degree-sorted order, evaluating the edge plan per edge and
-/// accumulating into the output rows. Each vertex appears exactly once in
-/// `node_ids`, so output rows are written by exactly one task (the same
-/// disjointness argument the CUDA kernel relies on).
+/// Splits `node_ids` into ranges of roughly `n_chunks` equal *edge* counts
+/// using a prefix sum of row extents. Degree-sorted order puts the heaviest
+/// vertices first, so naive fixed-width chunking would hand one worker all
+/// the hubs; cutting on cumulative edge work instead gives every worker the
+/// same number of plan evaluations (± one vertex).
+fn balanced_ranges(csr: &Csr, n_chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let ids = &csr.node_ids;
+    // +1 per vertex charges the fixed row setup so empty rows aren't free.
+    let mut prefix = Vec::with_capacity(ids.len() + 1);
+    let mut acc = 0usize;
+    prefix.push(0);
+    for &v in ids {
+        acc += csr.degree(v as usize) + 1;
+        prefix.push(acc);
+    }
+    let target = acc.div_ceil(n_chunks.max(1)).max(1);
+    let mut ranges = Vec::with_capacity(n_chunks);
+    let mut start = 0;
+    let mut next_cut = target;
+    for i in 0..ids.len() {
+        if prefix[i + 1] >= next_cut {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            next_cut = prefix[i + 1] + target;
+        }
+    }
+    if start < ids.len() {
+        ranges.push(start..ids.len());
+    }
+    ranges
+}
+
+/// Runs a fused aggregation kernel over the appropriate CSR in degree-sorted
+/// order, evaluating the edge plan per edge and accumulating into the output
+/// rows. Parallelism is *edge-balanced*: vertices are grouped into chunks of
+/// equal cumulative degree (see [`balanced_ranges`]) and each chunk reuses
+/// one pooled scratch buffer for every plan evaluation it performs. Each
+/// vertex appears exactly once in `node_ids`, so output rows are written by
+/// exactly one task (the same disjointness argument the CUDA kernel relies
+/// on) — and because every row is written, the output can start from a
+/// pooled uninitialised buffer (rows are zero-filled before accumulation).
 fn run_aggregation(plan: &EdgePlan<'_>, csr: &Csr, kind: AggKind, num_nodes: usize) -> Tensor {
     let w = plan.root_w;
-    let mut out = vec![0.0f32; num_nodes * w];
+    let mem_pool = mem::current_pool();
+    let mut out = TrackedBuf::raw_in(mem_pool, num_nodes * w);
+    if csr.node_ids.len() != num_nodes {
+        // Defensive: rows not covered by node_ids must still read as zero.
+        out.as_mut_slice().fill(0.0);
+    }
     {
         struct Shared(*mut f32);
         unsafe impl Sync for Shared {}
-        let shared = Shared(out.as_mut_ptr());
+        let shared = Shared(out.as_mut_slice().as_mut_ptr());
         let node_ids = &csr.node_ids;
-        let body = |scratch: &mut Vec<f32>, &v: &u32| {
+        let per_vertex = |scratch: &mut [f32], v: u32| {
             let shared = &shared;
             let v = v as usize;
             let row = unsafe { std::slice::from_raw_parts_mut(shared.0.add(v * w), w) };
+            row.fill(0.0);
             let mut first = true;
             for (nbr, eid) in csr.iter_row(v) {
                 // For Dst kernels the CSR is the reverse CSR: rows are
@@ -366,18 +474,22 @@ fn run_aggregation(plan: &EdgePlan<'_>, csr: &Csr, kind: AggKind, num_nodes: usi
                 first = false;
             }
         };
-        if csr.num_edges() * w >= 1 << 12 {
-            node_ids
-                .par_iter()
-                .for_each_init(|| vec![0.0f32; plan.scratch_len], body);
+        if csr.num_edges() * w >= par_min() {
+            let ranges = balanced_ranges(csr, rayon::current_num_threads() * 4);
+            ranges.par_iter().for_each(|range| {
+                let mut scratch = TrackedBuf::raw_in(mem_pool, plan.scratch_len);
+                for &v in &node_ids[range.clone()] {
+                    per_vertex(scratch.as_mut_slice(), v);
+                }
+            });
         } else {
-            let mut scratch = vec![0.0f32; plan.scratch_len];
-            for v in node_ids {
-                body(&mut scratch, v);
+            let mut scratch = TrackedBuf::raw_in(mem_pool, plan.scratch_len);
+            for &v in node_ids {
+                per_vertex(scratch.as_mut_slice(), v);
             }
         }
     }
-    Tensor::from_vec(Shape::Mat(num_nodes, w), out)
+    Tensor::from_buf(Shape::Mat(num_nodes, w), out)
 }
 
 /// Materialises an edge-space value as an `[m, w]` tensor indexed by edge
@@ -385,12 +497,13 @@ fn run_aggregation(plan: &EdgePlan<'_>, csr: &Csr, kind: AggKind, num_nodes: usi
 /// the dense reverse CSR so every edge id is visited exactly once.
 fn materialize_edge_value(plan: &EdgePlan<'_>, rev: &Csr, num_edges: usize) -> Tensor {
     let w = plan.root_w;
-    let mut out = vec![0.0f32; num_edges * w];
+    let mem_pool = mem::current_pool();
+    let mut out = TrackedBuf::zeros_in(mem_pool, num_edges * w);
     {
         struct Shared(*mut f32);
         unsafe impl Sync for Shared {}
-        let shared = Shared(out.as_mut_ptr());
-        let body = |scratch: &mut Vec<f32>, &v: &u32| {
+        let shared = Shared(out.as_mut_slice().as_mut_ptr());
+        let per_vertex = |scratch: &mut [f32], v: u32| {
             let shared = &shared;
             let dst = v as usize;
             for (src, eid) in rev.iter_row(dst) {
@@ -400,40 +513,65 @@ fn materialize_edge_value(plan: &EdgePlan<'_>, rev: &Csr, num_edges: usize) -> T
                 row.copy_from_slice(&scratch[plan.root..plan.root + w]);
             }
         };
-        if num_edges * w >= 1 << 12 {
-            rev.node_ids
-                .par_iter()
-                .for_each_init(|| vec![0.0f32; plan.scratch_len], body);
+        if num_edges * w >= par_min() {
+            let ranges = balanced_ranges(rev, rayon::current_num_threads() * 4);
+            ranges.par_iter().for_each(|range| {
+                let mut scratch = TrackedBuf::raw_in(mem_pool, plan.scratch_len);
+                for &v in &rev.node_ids[range.clone()] {
+                    per_vertex(scratch.as_mut_slice(), v);
+                }
+            });
         } else {
-            let mut scratch = vec![0.0f32; plan.scratch_len];
-            for v in &rev.node_ids {
-                body(&mut scratch, v);
+            let mut scratch = TrackedBuf::raw_in(mem_pool, plan.scratch_len);
+            for &v in &rev.node_ids {
+                per_vertex(scratch.as_mut_slice(), v);
             }
         }
     }
-    Tensor::from_vec(Shape::Mat(num_edges, w), out)
+    Tensor::from_buf(Shape::Mat(num_edges, w), out)
 }
 
-/// Node-space elementwise binary with width-1 row broadcast.
-fn node_binary(a: &Tensor, b: &Tensor, w: usize, f: impl Fn(f32, f32) -> f32) -> Tensor {
+/// Node-space elementwise binary with width-1 row broadcast. One pooled
+/// output and one parallel driver serve both the equal-width and the
+/// broadcast path; the per-row loop is specialised outside the hot loop so
+/// the equal-width case stays branch-free per element.
+fn node_binary(a: &Tensor, b: &Tensor, w: usize, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
     let n = a.rows();
     debug_assert_eq!(b.rows(), n);
     let (wa, wb) = (a.cols(), b.cols());
-    if wa == wb {
-        let (ad, bd) = (a.data(), b.data());
-        let out: Vec<f32> = ad.iter().zip(bd).map(|(&x, &y)| f(x, y)).collect();
-        return Tensor::from_vec(Shape::Mat(n, w), out);
-    }
     let (ad, bd) = (a.data(), b.data());
-    let mut out = vec![0.0f32; n * w];
-    for i in 0..n {
-        for j in 0..w {
-            let x = ad[i * wa + if wa == 1 { 0 } else { j }];
-            let y = bd[i * wb + if wb == 1 { 0 } else { j }];
-            out[i * w + j] = f(x, y);
+    let mut out = TrackedBuf::raw(n * w);
+    let dst = out.as_mut_slice();
+    let row_body = |(i, drow): (usize, &mut [f32])| {
+        let arow = &ad[i * wa..i * wa + wa];
+        let brow = &bd[i * wb..i * wb + wb];
+        match (wa == 1, wb == 1) {
+            (false, false) => {
+                for (d, (&x, &y)) in drow.iter_mut().zip(arow.iter().zip(brow)) {
+                    *d = f(x, y);
+                }
+            }
+            (true, false) => {
+                for (d, &y) in drow.iter_mut().zip(brow) {
+                    *d = f(arow[0], y);
+                }
+            }
+            (false, true) => {
+                for (d, &x) in drow.iter_mut().zip(arow) {
+                    *d = f(x, brow[0]);
+                }
+            }
+            (true, true) => {
+                drow.fill(f(arow[0], brow[0]));
+            }
         }
+    };
+    if n * w >= par_min() {
+        dst.par_chunks_mut(w).enumerate().for_each(row_body);
+    } else {
+        dst.chunks_mut(w).enumerate().for_each(row_body);
     }
-    Tensor::from_vec(Shape::Mat(n, w), out)
+    Tensor::from_buf(Shape::Mat(n, w), out)
 }
 
 /// Result of executing a program.
@@ -480,8 +618,16 @@ pub fn execute(
 ) -> ExecOutput {
     let n = graph.num_nodes();
     assert_eq!(inputs.len(), prog.input_widths.len(), "input slot count");
-    assert_eq!(node_consts.len(), prog.node_const_widths.len(), "node const slot count");
-    assert_eq!(edge_consts.len(), prog.edge_const_widths.len(), "edge const slot count");
+    assert_eq!(
+        node_consts.len(),
+        prog.node_const_widths.len(),
+        "node const slot count"
+    );
+    assert_eq!(
+        edge_consts.len(),
+        prog.edge_const_widths.len(),
+        "edge const slot count"
+    );
     for (i, t) in inputs.iter().enumerate() {
         assert_eq!(t.rows(), n, "input {i}: rows vs num_nodes");
         assert_eq!(t.cols(), prog.input_widths[i], "input {i}: width");
@@ -509,26 +655,30 @@ pub fn execute(
                 let plan = compile_edge_plan(prog, e, &values, edge_consts);
                 run_aggregation(&plan, graph.csr(), AggKind::SumSrc, n)
             }
-            Op::Add(a, b) => {
-                node_binary(values[a].as_ref().unwrap(), values[b].as_ref().unwrap(), w, |x, y| {
-                    x + y
-                })
-            }
-            Op::Sub(a, b) => {
-                node_binary(values[a].as_ref().unwrap(), values[b].as_ref().unwrap(), w, |x, y| {
-                    x - y
-                })
-            }
-            Op::Mul(a, b) => {
-                node_binary(values[a].as_ref().unwrap(), values[b].as_ref().unwrap(), w, |x, y| {
-                    x * y
-                })
-            }
-            Op::Div(a, b) => {
-                node_binary(values[a].as_ref().unwrap(), values[b].as_ref().unwrap(), w, |x, y| {
-                    x / y
-                })
-            }
+            Op::Add(a, b) => node_binary(
+                values[a].as_ref().unwrap(),
+                values[b].as_ref().unwrap(),
+                w,
+                |x, y| x + y,
+            ),
+            Op::Sub(a, b) => node_binary(
+                values[a].as_ref().unwrap(),
+                values[b].as_ref().unwrap(),
+                w,
+                |x, y| x - y,
+            ),
+            Op::Mul(a, b) => node_binary(
+                values[a].as_ref().unwrap(),
+                values[b].as_ref().unwrap(),
+                w,
+                |x, y| x * y,
+            ),
+            Op::Div(a, b) => node_binary(
+                values[a].as_ref().unwrap(),
+                values[b].as_ref().unwrap(),
+                w,
+                |x, y| x / y,
+            ),
             Op::Scale(a, c) => values[a].as_ref().unwrap().mul_scalar(c),
             Op::LeakyRelu(a, s) => values[a].as_ref().unwrap().leaky_relu(s),
             Op::LeakyReluGrad(g, x, s) => node_binary(
@@ -547,11 +697,12 @@ pub fn execute(
             Op::BroadcastFeat(a, bw) => {
                 let t = values[a].as_ref().unwrap();
                 let src = t.data();
-                let mut out = vec![0.0f32; t.rows() * bw];
+                let mut out = TrackedBuf::raw(t.rows() * bw);
+                let dst = out.as_mut_slice();
                 for i in 0..t.rows() {
-                    out[i * bw..(i + 1) * bw].fill(src[i]);
+                    dst[i * bw..(i + 1) * bw].fill(src[i]);
                 }
-                Tensor::from_vec(Shape::Mat(t.rows(), bw), out)
+                Tensor::from_buf(Shape::Mat(t.rows(), bw), out)
             }
             Op::EdgeConst(_) | Op::GatherSrc(_) | Op::GatherDst(_) => {
                 unreachable!("edge-space op reached node evaluation")
@@ -571,8 +722,11 @@ pub fn execute(
         })
         .collect();
 
-    let outputs =
-        prog.outputs.iter().map(|&o| values[o].as_ref().expect("output value").clone()).collect();
+    let outputs = prog
+        .outputs
+        .iter()
+        .map(|&o| values[o].as_ref().expect("output value").clone())
+        .collect();
     ExecOutput { outputs, saved }
 }
 
@@ -600,7 +754,10 @@ mod tests {
         let x = Tensor::from_vec((4, 2), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
         let r = execute(&prog, &snap, &[&x], &[], &[], &[]);
         // node1 <- node0; node2 <- node0; node3 <- node1 + node2.
-        assert_eq!(r.outputs[0].to_vec(), vec![0.0, 0.0, 1.0, 2.0, 1.0, 2.0, 8.0, 10.0]);
+        assert_eq!(
+            r.outputs[0].to_vec(),
+            vec![0.0, 0.0, 1.0, 2.0, 1.0, 2.0, 8.0, 10.0]
+        );
     }
 
     #[test]
@@ -636,14 +793,26 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let snap = Snapshot::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (2, 5), (1, 1)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (2, 5),
+                (1, 1),
+            ],
         );
         let f = 4;
         let x = Tensor::rand_uniform((6, f), -1.0, 1.0, &mut rng);
         let prog = gcn_aggregation(f);
         let norm = gcn_norm(&snap.in_degrees);
         let norm_t = Tensor::from_vec((6, 1), norm.clone());
-        let got = execute(&prog, &snap, &[&x], &[&norm_t], &[], &[]).outputs.remove(0);
+        let got = execute(&prog, &snap, &[&x], &[&norm_t], &[], &[])
+            .outputs
+            .remove(0);
         // Dense oracle: out = N (A^T + I) N X  with N = diag(norm).
         let a = dense_adjacency(&snap);
         let n = 6;
@@ -662,7 +831,11 @@ mod tests {
             }
         }
         let want = Tensor::from_vec((n, f), want);
-        assert!(got.approx_eq(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.approx_eq(&want, 1e-4),
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]
@@ -736,7 +909,9 @@ mod tests {
         let snap = diamond();
         let mut rng = ChaCha8Rng::seed_from_u64(77);
         let x = Tensor::rand_uniform((4, 2), -2.0, 2.0, &mut rng);
-        let got = execute(&prog, &snap, &[&x], &[], &[], &[]).outputs.remove(0);
+        let got = execute(&prog, &snap, &[&x], &[], &[], &[])
+            .outputs
+            .remove(0);
         // Oracle via node-space transforms + plain copy aggregation.
         let tx = x.sigmoid().tanh();
         let mut want = vec![0.0f32; 8];

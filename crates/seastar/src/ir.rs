@@ -170,7 +170,11 @@ impl Program {
                 *operand = remap[*operand];
             }
             remap[id] = nodes.len();
-            nodes.push(IrNode { op, space: node.space, width: node.width });
+            nodes.push(IrNode {
+                op,
+                space: node.space,
+                width: node.width,
+            });
         }
         Program {
             nodes,
@@ -236,9 +240,7 @@ impl Program {
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| {
-                matches!(n.op, Op::AggSumDst(_) | Op::AggSumSrc(_) | Op::AggMaxDst(_))
-            })
+            .filter(|(_, n)| matches!(n.op, Op::AggSumDst(_) | Op::AggSumSrc(_) | Op::AggMaxDst(_)))
             .map(|(i, _)| i)
             .collect()
     }
@@ -297,7 +299,10 @@ fn op_operands_mut(op: &mut Op) -> Vec<&mut Id> {
         | Op::Tanh(a)
         | Op::ReduceFeat(a)
         | Op::BroadcastFeat(a, _) => vec![a],
-        Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b)
+        Op::Add(a, b)
+        | Op::Sub(a, b)
+        | Op::Mul(a, b)
+        | Op::Div(a, b)
         | Op::LeakyReluGrad(a, b, _) => {
             vec![a, b]
         }
@@ -320,12 +325,16 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// A fresh builder.
     pub fn new() -> ProgramBuilder {
-        ProgramBuilder { prog: Program::default() }
+        ProgramBuilder {
+            prog: Program::default(),
+        }
     }
 
     fn push(&mut self, op: Op, space: Space, width: usize) -> Val {
         self.prog.nodes.push(IrNode { op, space, width });
-        Val { id: self.prog.nodes.len() - 1 }
+        Val {
+            id: self.prog.nodes.len() - 1,
+        }
     }
 
     fn node(&self, v: Val) -> &IrNode {
@@ -355,28 +364,44 @@ impl ProgramBuilder {
 
     /// Edge value: source endpoint's copy of a node value.
     pub fn gather_src(&mut self, v: Val) -> Val {
-        assert_eq!(self.node(v).space, Space::Node, "gather_src takes a node value");
+        assert_eq!(
+            self.node(v).space,
+            Space::Node,
+            "gather_src takes a node value"
+        );
         let w = self.node(v).width;
         self.push(Op::GatherSrc(v.id), Space::Edge, w)
     }
 
     /// Edge value: destination endpoint's copy of a node value.
     pub fn gather_dst(&mut self, v: Val) -> Val {
-        assert_eq!(self.node(v).space, Space::Node, "gather_dst takes a node value");
+        assert_eq!(
+            self.node(v).space,
+            Space::Node,
+            "gather_dst takes a node value"
+        );
         let w = self.node(v).width;
         self.push(Op::GatherDst(v.id), Space::Edge, w)
     }
 
     /// Node value: per-vertex sum of an edge value over in-edges.
     pub fn agg_sum_dst(&mut self, e: Val) -> Val {
-        assert_eq!(self.node(e).space, Space::Edge, "agg_sum_dst takes an edge value");
+        assert_eq!(
+            self.node(e).space,
+            Space::Edge,
+            "agg_sum_dst takes an edge value"
+        );
         let w = self.node(e).width;
         self.push(Op::AggSumDst(e.id), Space::Node, w)
     }
 
     /// Node value: per-vertex sum of an edge value over out-edges.
     pub fn agg_sum_src(&mut self, e: Val) -> Val {
-        assert_eq!(self.node(e).space, Space::Edge, "agg_sum_src takes an edge value");
+        assert_eq!(
+            self.node(e).space,
+            Space::Edge,
+            "agg_sum_src takes an edge value"
+        );
         let w = self.node(e).width;
         self.push(Op::AggSumSrc(e.id), Space::Node, w)
     }
@@ -384,7 +409,11 @@ impl ProgramBuilder {
     /// Node value: per-vertex max of an edge value over in-edges
     /// (gradient-stopped; see [`Op::AggMaxDst`]).
     pub fn agg_max_dst(&mut self, e: Val) -> Val {
-        assert_eq!(self.node(e).space, Space::Edge, "agg_max_dst takes an edge value");
+        assert_eq!(
+            self.node(e).space,
+            Space::Edge,
+            "agg_max_dst takes an edge value"
+        );
         let w = self.node(e).width;
         self.push(Op::AggMaxDst(e.id), Space::Node, w)
     }
@@ -662,7 +691,11 @@ mod tests {
         let sum = b.add(g1, g2);
         let out = b.agg_sum_dst(sum);
         let p = b.finish(&[out]).eliminate_common_subexpressions();
-        let scales = p.nodes.iter().filter(|n| matches!(n.op, Op::Scale(_, _))).count();
+        let scales = p
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Scale(_, _)))
+            .count();
         assert_eq!(scales, 2);
     }
 

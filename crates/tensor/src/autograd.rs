@@ -34,7 +34,13 @@ impl Param {
     /// Creates a parameter from an initial value.
     pub fn new(name: impl Into<String>, value: Tensor) -> Param {
         let grad = Tensor::zeros(value.shape());
-        Param { inner: Rc::new(RefCell::new(ParamInner { value, grad, name: name.into() })) }
+        Param {
+            inner: Rc::new(RefCell::new(ParamInner {
+                value,
+                grad,
+                name: name.into(),
+            })),
+        }
     }
 
     /// The parameter's current value (cheap clone of shared storage).
@@ -90,7 +96,10 @@ type BackwardFn = Box<dyn FnMut(&Tensor) -> Vec<Tensor>>;
 
 enum NodeKind {
     Leaf(LeafSink),
-    Op { parents: Vec<usize>, backward: BackwardFn },
+    Op {
+        parents: Vec<usize>,
+        backward: BackwardFn,
+    },
 }
 
 struct Node {
@@ -131,7 +140,9 @@ pub struct Var<'t> {
 impl Tape {
     /// An empty tape.
     pub fn new() -> Tape {
-        Tape { nodes: RefCell::new(Vec::new()) }
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+        }
     }
 
     /// Number of recorded nodes.
@@ -154,13 +165,21 @@ impl Tape {
     pub fn param<'t>(&'t self, p: &Param) -> Var<'t> {
         let value = p.value();
         let id = self.push(NodeKind::Leaf(LeafSink::Param(p.clone())), value.shape());
-        Var { tape: self, id, value }
+        Var {
+            tape: self,
+            id,
+            value,
+        }
     }
 
     /// Registers a non-trainable data leaf (features, targets).
     pub fn constant(&self, t: Tensor) -> Var<'_> {
         let id = self.push(NodeKind::Leaf(LeafSink::Constant), t.shape());
-        Var { tape: self, id, value: t }
+        Var {
+            tape: self,
+            id,
+            value: t,
+        }
     }
 
     /// Registers an input leaf whose gradient can be read back after
@@ -168,7 +187,14 @@ impl Tape {
     pub fn input(&self, t: Tensor) -> (Var<'_>, InputGrad) {
         let cell = Rc::new(RefCell::new(None));
         let id = self.push(NodeKind::Leaf(LeafSink::Input(Rc::clone(&cell))), t.shape());
-        (Var { tape: self, id, value: t }, InputGrad(cell))
+        (
+            Var {
+                tape: self,
+                id,
+                value: t,
+            },
+            InputGrad(cell),
+        )
     }
 
     /// Records a custom differentiable op.
@@ -184,10 +210,17 @@ impl Tape {
     ) -> Var<'t> {
         let parents = inputs.iter().map(|v| v.id).collect();
         let id = self.push(
-            NodeKind::Op { parents, backward: Box::new(backward) },
+            NodeKind::Op {
+                parents,
+                backward: Box::new(backward),
+            },
             value.shape(),
         );
-        Var { tape: self, id, value }
+        Var {
+            tape: self,
+            id,
+            value,
+        }
     }
 
     /// Runs reverse-mode accumulation from `loss` (seeded with 1.0).
@@ -250,12 +283,16 @@ impl Tape {
 /// `total` at offset `lo` — the adjoint of `slice_cols`.
 fn place_cols(g: &Tensor, lo: usize, total: usize) -> Tensor {
     let (n, w) = g.shape().as_mat();
-    let mut out = vec![0.0f32; n * total];
+    let mut out = crate::mem::TrackedBuf::raw(n * total);
+    let dst = out.as_mut_slice();
     let src = g.data();
     for i in 0..n {
-        out[i * total + lo..i * total + lo + w].copy_from_slice(&src[i * w..(i + 1) * w]);
+        let row = &mut dst[i * total..(i + 1) * total];
+        row[..lo].fill(0.0);
+        row[lo..lo + w].copy_from_slice(&src[i * w..(i + 1) * w]);
+        row[lo + w..].fill(0.0);
     }
-    Tensor::from_vec((n, total), out)
+    Tensor::from_buf((n, total), out)
 }
 
 impl<'t> Var<'t> {
@@ -274,11 +311,7 @@ impl<'t> Var<'t> {
         self.tape
     }
 
-    fn unary(
-        &self,
-        value: Tensor,
-        backward: impl FnMut(&Tensor) -> Tensor + 'static,
-    ) -> Var<'t> {
+    fn unary(&self, value: Tensor, backward: impl FnMut(&Tensor) -> Tensor + 'static) -> Var<'t> {
         let mut backward = backward;
         self.tape.custom(&[self], value, move |g| vec![backward(g)])
     }
@@ -288,20 +321,23 @@ impl<'t> Var<'t> {
     /// Elementwise sum.
     pub fn add(&self, other: &Var<'t>) -> Var<'t> {
         let v = self.value.add(&other.value);
-        self.tape.custom(&[self, other], v, |g| vec![g.clone(), g.clone()])
+        self.tape
+            .custom(&[self, other], v, |g| vec![g.clone(), g.clone()])
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Var<'t>) -> Var<'t> {
         let v = self.value.sub(&other.value);
-        self.tape.custom(&[self, other], v, |g| vec![g.clone(), g.neg()])
+        self.tape
+            .custom(&[self, other], v, |g| vec![g.clone(), g.neg()])
     }
 
     /// Elementwise product.
     pub fn mul(&self, other: &Var<'t>) -> Var<'t> {
         let v = self.value.mul(&other.value);
         let (a, b) = (self.value.clone(), other.value.clone());
-        self.tape.custom(&[self, other], v, move |g| vec![g.mul(&b), g.mul(&a)])
+        self.tape
+            .custom(&[self, other], v, move |g| vec![g.mul(&b), g.mul(&a)])
     }
 
     /// Elementwise negation.
@@ -346,7 +382,10 @@ impl<'t> Var<'t> {
         self.unary(self.value.relu(), move |g| {
             let mask = Tensor::from_vec(
                 x.shape(),
-                x.data().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect(),
+                x.data()
+                    .iter()
+                    .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+                    .collect(),
             );
             g.mul(&mask)
         })
@@ -358,7 +397,10 @@ impl<'t> Var<'t> {
         self.unary(self.value.leaky_relu(slope), move |g| {
             let mask = Tensor::from_vec(
                 x.shape(),
-                x.data().iter().map(|&v| if v >= 0.0 { 1.0 } else { slope }).collect(),
+                x.data()
+                    .iter()
+                    .map(|&v| if v >= 0.0 { 1.0 } else { slope })
+                    .collect(),
             );
             g.mul(&mask)
         })
@@ -398,7 +440,8 @@ impl<'t> Var<'t> {
     /// Adds a broadcast bias row vector.
     pub fn add_bias(&self, bias: &Var<'t>) -> Var<'t> {
         let v = self.value.add_bias(&bias.value);
-        self.tape.custom(&[self, bias], v, |g| vec![g.clone(), g.sum_axis0()])
+        self.tape
+            .custom(&[self, bias], v, |g| vec![g.clone(), g.sum_axis0()])
     }
 
     /// Scales row `i` by the constant `s[i]` (e.g. GCN degree norms).
@@ -431,7 +474,9 @@ impl<'t> Var<'t> {
     /// Extracts columns `lo..hi`.
     pub fn slice_cols(&self, lo: usize, hi: usize) -> Var<'t> {
         let total = self.value.cols();
-        self.unary(self.value.slice_cols(lo, hi), move |g| place_cols(g, lo, total))
+        self.unary(self.value.slice_cols(lo, hi), move |g| {
+            place_cols(g, lo, total)
+        })
     }
 
     /// Edge-parallel gather of rows by index (baseline message creation).
@@ -466,7 +511,9 @@ impl<'t> Var<'t> {
     pub fn mean(&self) -> Var<'t> {
         let shape = self.value.shape();
         let inv = 1.0 / shape.numel() as f32;
-        self.unary(self.value.mean(), move |g| Tensor::full(shape, g.item() * inv))
+        self.unary(self.value.mean(), move |g| {
+            Tensor::full(shape, g.item() * inv)
+        })
     }
 
     /// Mean-squared-error loss against a constant target.
@@ -546,11 +593,7 @@ mod tests {
     }
 
     /// Generic gradcheck: `builder` maps an input Var to a scalar loss Var.
-    fn check_op(
-        x0: &Tensor,
-        builder: impl for<'t> Fn(&'t Tape, Var<'t>) -> Var<'t>,
-        tol: f32,
-    ) {
+    fn check_op(x0: &Tensor, builder: impl for<'t> Fn(&'t Tape, Var<'t>) -> Var<'t>, tol: f32) {
         let tape = Tape::new();
         let (x, gx) = tape.input(x0.clone());
         let loss = builder(&tape, x);
@@ -585,7 +628,12 @@ mod tests {
             &x0,
             |tape, x| {
                 let c = tape.constant(seeded((2, 5), 13));
-                x.mul_scalar(3.0).sub(&c).neg().add_scalar(0.5).square().sum()
+                x.mul_scalar(3.0)
+                    .sub(&c)
+                    .neg()
+                    .add_scalar(0.5)
+                    .square()
+                    .sum()
             },
             1e-2,
         );
@@ -638,7 +686,11 @@ mod tests {
     fn grad_bias_and_scale_rows() {
         let x0 = seeded((3, 4), 19);
         let s = seeded((3, 1), 20).reshape(3);
-        check_op(&x0, move |_t, x| x.scale_rows_const(&s).square().sum(), 2e-2);
+        check_op(
+            &x0,
+            move |_t, x| x.scale_rows_const(&s).square().sum(),
+            2e-2,
+        );
         let b0 = seeded((1, 4), 21).reshape(4);
         let p = Param::new("b", b0.clone());
         let xc = seeded((3, 4), 22);
@@ -710,7 +762,11 @@ mod tests {
         // 0/1 targets for BCE.
         let bt = Tensor::from_vec(
             (5, 2),
-            target.data().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect(),
+            target
+                .data()
+                .iter()
+                .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+                .collect(),
         );
         check_op(&x0, move |_t, x| x.bce_with_logits_loss(&bt), 2e-2);
     }

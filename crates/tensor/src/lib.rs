@@ -18,9 +18,11 @@ pub mod autograd;
 pub mod mem;
 pub mod nn;
 pub mod optim;
+pub mod pool;
 pub mod shape;
 pub mod tensor;
 
 pub use autograd::{Param, Tape, Var};
+pub use pool::PoolScope;
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{par_min, Tensor};

@@ -116,7 +116,9 @@ thread_local! {
 
 /// Returns the pool new allocations on this thread are charged to.
 pub fn current_pool() -> u32 {
-    POOL_STACK.with(|s| s.borrow().last().copied()).unwrap_or_else(|| pool_id(DEFAULT_POOL))
+    POOL_STACK
+        .with(|s| s.borrow().last().copied())
+        .unwrap_or_else(|| pool_id(DEFAULT_POOL))
 }
 
 /// RAII guard scoping allocation attribution to a pool.
@@ -173,17 +175,27 @@ pub fn stats(name: &str) -> PoolStats {
 /// Resets a pool's peak to its current live value (e.g. between sweeps).
 pub fn reset_peak(name: &str) {
     let c = cell(pool_id(name));
-    c.peak.store(c.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    c.peak
+        .store(c.live.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
 /// Lists `(name, stats)` for every pool ever created.
 pub fn all_stats() -> Vec<(String, PoolStats)> {
     let reg = registry();
     let by_name = reg.by_name.lock();
-    let mut out: Vec<(String, PoolStats)> =
-        by_name.iter().map(|(n, &id)| (n.clone(), cell(id).stats())).collect();
+    let mut out: Vec<(String, PoolStats)> = by_name
+        .iter()
+        .map(|(n, &id)| (n.clone(), cell(id).stats()))
+        .collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
+}
+
+/// Reads the workspace buffer pool's counters (hits, misses, recycled and
+/// cached bytes) alongside the per-pool byte stats above. See [`crate::pool`]
+/// for how cached bytes interact with `live`.
+pub fn buffer_pool_stats() -> crate::pool::BufPoolStats {
+    crate::pool::stats()
 }
 
 /// A raw tracked heap buffer of `f32`s. All tensor storage goes through this
@@ -195,10 +207,35 @@ pub struct TrackedBuf {
 
 impl TrackedBuf {
     /// Allocates a zero-filled buffer of `len` floats charged to the current
-    /// pool.
+    /// pool, drawing from the workspace buffer pool when a
+    /// [`crate::pool::PoolScope`] is active.
     pub fn zeros(len: usize) -> TrackedBuf {
-        let pool = track_alloc(len * std::mem::size_of::<f32>());
-        TrackedBuf { data: vec![0.0; len], pool }
+        Self::zeros_in(current_pool(), len)
+    }
+
+    /// Like [`TrackedBuf::zeros`] but charged to an explicit pool id. Kernels
+    /// capture the id before entering a parallel region so worker-thread
+    /// allocations stay attributed to the orchestrating scope's pool.
+    pub fn zeros_in(pool: u32, len: usize) -> TrackedBuf {
+        let (mut data, recycled) = pooled_floats(pool, len);
+        if recycled {
+            data.fill(0.0);
+        }
+        TrackedBuf { data, pool }
+    }
+
+    /// Allocates a buffer of `len` floats with *unspecified* (but
+    /// initialized — never uninitialized memory) contents. For kernel outputs
+    /// that overwrite every element: skips the zero-fill `zeros` pays, and
+    /// recycled buffers skip even the first-touch fill.
+    pub fn raw(len: usize) -> TrackedBuf {
+        Self::raw_in(current_pool(), len)
+    }
+
+    /// Like [`TrackedBuf::raw`] but charged to an explicit pool id.
+    pub fn raw_in(pool: u32, len: usize) -> TrackedBuf {
+        let (data, _recycled) = pooled_floats(pool, len);
+        TrackedBuf { data, pool }
     }
 
     /// Takes ownership of an existing vector, charging its capacity.
@@ -228,9 +265,40 @@ impl TrackedBuf {
     }
 }
 
+/// Produces a `len`-element float vector charged to `pool`: recycled from
+/// the buffer pool when possible (second tuple element `true`, contents
+/// stale), freshly allocated otherwise (zero-filled). Fresh pool-eligible
+/// allocations reserve their full size-class capacity so the buffer can park
+/// on a free list later; the charge covers the capacity either way.
+fn pooled_floats(pool: u32, len: usize) -> (Vec<f32>, bool) {
+    if let Some(mut v) = crate::pool::take(pool, len) {
+        if v.len() < len {
+            v.resize(len, 0.0);
+        } else {
+            v.truncate(len);
+        }
+        return (v, true);
+    }
+    let cap = if crate::pool::enabled() {
+        crate::pool::class_capacity(len).unwrap_or(len)
+    } else {
+        len
+    };
+    track_alloc_in(pool, cap * std::mem::size_of::<f32>());
+    let mut v = Vec::with_capacity(cap);
+    v.resize(len, 0.0);
+    (v, false)
+}
+
 impl Drop for TrackedBuf {
     fn drop(&mut self) {
-        track_free(self.pool, self.data.capacity() * std::mem::size_of::<f32>());
+        let cap_bytes = self.data.capacity() * std::mem::size_of::<f32>();
+        let data = std::mem::take(&mut self.data);
+        // Park on the buffer pool when possible; the byte charge rides along
+        // with the cached buffer and is released by pool::trim().
+        if crate::pool::put(self.pool, data).is_err() {
+            track_free(self.pool, cap_bytes);
+        }
     }
 }
 

@@ -106,7 +106,10 @@ impl Linear {
         bias: bool,
         rng: &mut impl Rng,
     ) -> Linear {
-        let weight = params.register(format!("{name}.weight"), Tensor::glorot(fan_in, fan_out, rng));
+        let weight = params.register(
+            format!("{name}.weight"),
+            Tensor::glorot(fan_in, fan_out, rng),
+        );
         let bias = bias.then(|| params.register(format!("{name}.bias"), Tensor::zeros(fan_out)));
         Linear { weight, bias }
     }
@@ -151,7 +154,9 @@ mod tests {
         let tape = Tape::new();
         let xv = tape.constant(x.clone());
         let y = lin.forward(&tape, &xv);
-        let manual = x.matmul(&lin.weight.value()).add_bias(&lin.bias.as_ref().unwrap().value());
+        let manual = x
+            .matmul(&lin.weight.value())
+            .add_bias(&lin.bias.as_ref().unwrap().value());
         assert!(y.value().approx_eq(&manual, 1e-6));
     }
 

@@ -39,8 +39,16 @@ impl Sgd {
 
     /// SGD with momentum `mu` (0 disables).
     pub fn with_momentum(params: ParamSet, lr: f32, momentum: f32) -> Sgd {
-        let velocity = params.iter().map(|p| Tensor::zeros(p.value().shape())).collect();
-        Sgd { params, lr, momentum, velocity }
+        let velocity = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape()))
+            .collect();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
     }
 
     /// Applies one update from the accumulated gradients.
@@ -84,9 +92,24 @@ impl Adam {
 
     /// Adam with explicit hyperparameters.
     pub fn with_betas(params: ParamSet, lr: f32, beta1: f32, beta2: f32, eps: f32) -> Adam {
-        let m = params.iter().map(|p| Tensor::zeros(p.value().shape())).collect();
-        let v = params.iter().map(|p| Tensor::zeros(p.value().shape())).collect();
-        Adam { params, lr, beta1, beta2, eps, t: 0, m, v }
+        let m = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape()))
+            .collect();
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m,
+            v,
+        }
     }
 
     /// Applies one Adam update from the accumulated gradients.
@@ -96,9 +119,12 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in self.params.iter().enumerate() {
             let g = p.grad();
-            self.m[i] = self.m[i].mul_scalar(self.beta1).add(&g.mul_scalar(1.0 - self.beta1));
-            self.v[i] =
-                self.v[i].mul_scalar(self.beta2).add(&g.square().mul_scalar(1.0 - self.beta2));
+            self.m[i] = self.m[i]
+                .mul_scalar(self.beta1)
+                .add(&g.mul_scalar(1.0 - self.beta1));
+            self.v[i] = self.v[i]
+                .mul_scalar(self.beta2)
+                .add(&g.square().mul_scalar(1.0 - self.beta2));
             let mhat = self.m[i].mul_scalar(1.0 / bc1);
             let vhat = self.v[i].mul_scalar(1.0 / bc2);
             let denom = vhat.sqrt().add_scalar(self.eps);
@@ -124,7 +150,11 @@ mod tests {
         for _ in 0..200 {
             step();
         }
-        read().data().iter().map(|&w| (w - 3.0).abs()).fold(0.0, f32::max)
+        read()
+            .data()
+            .iter()
+            .map(|&w| (w - 3.0).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]

@@ -13,9 +13,25 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-/// Below this element count kernels run sequentially: thread hand-off costs
-/// more than the loop.
-pub const PAR_MIN: usize = 1 << 12;
+/// Default sequential/parallel cutover: below this per-kernel work estimate
+/// (element count, or `n*m*k` for matmul) kernels run sequentially — thread
+/// hand-off costs more than the loop.
+pub const DEFAULT_PAR_MIN: usize = 1 << 12;
+
+/// The active sequential/parallel cutover, honoured by every parallel kernel
+/// in the workspace (tensor ops here, plus the seastar aggregation kernels
+/// and graph builders). Defaults to [`DEFAULT_PAR_MIN`]; the
+/// `STGRAPH_PAR_MIN` environment variable overrides it (read once at first
+/// use, unparsable values fall back to the default).
+pub fn par_min() -> usize {
+    static CUTOVER: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CUTOVER.get_or_init(|| {
+        std::env::var("STGRAPH_PAR_MIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_PAR_MIN)
+    })
+}
 
 /// A dense row-major `f32` tensor. Cheap to clone (shared storage).
 #[derive(Clone)]
@@ -28,7 +44,13 @@ impl std::fmt::Debug for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let d = self.data();
         let head: Vec<f32> = d.iter().take(8).copied().collect();
-        write!(f, "Tensor{}{:?}{}", self.shape, head, if d.len() > 8 { "…" } else { "" })
+        write!(
+            f,
+            "Tensor{}{:?}{}",
+            self.shape,
+            head,
+            if d.len() > 8 { "…" } else { "" }
+        )
     }
 }
 
@@ -38,13 +60,21 @@ impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
-        Tensor { buf: Arc::new(TrackedBuf::zeros(shape.numel())), shape }
+        Tensor {
+            buf: Arc::new(TrackedBuf::zeros(shape.numel())),
+            shape,
+        }
     }
 
     /// A tensor filled with `v`.
     pub fn full(shape: impl Into<Shape>, v: f32) -> Tensor {
         let shape = shape.into();
-        Tensor { buf: Arc::new(TrackedBuf::from_vec(vec![v; shape.numel()])), shape }
+        let mut out = TrackedBuf::raw(shape.numel());
+        out.as_mut_slice().fill(v);
+        Tensor {
+            buf: Arc::new(out),
+            shape,
+        }
     }
 
     /// A tensor of ones.
@@ -54,7 +84,10 @@ impl Tensor {
 
     /// A rank-0 tensor holding `v`.
     pub fn scalar(v: f32) -> Tensor {
-        Tensor { buf: Arc::new(TrackedBuf::from_vec(vec![v])), shape: Shape::Scalar }
+        Tensor {
+            buf: Arc::new(TrackedBuf::from_vec(vec![v])),
+            shape: Shape::Scalar,
+        }
     }
 
     /// Builds a tensor from an explicit element vector (row-major).
@@ -63,15 +96,44 @@ impl Tensor {
     /// If `data.len() != shape.numel()`.
     pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Tensor {
         let shape = shape.into();
-        assert_eq!(data.len(), shape.numel(), "from_vec: data length vs shape {shape}");
-        Tensor { buf: Arc::new(TrackedBuf::from_vec(data)), shape }
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "from_vec: data length vs shape {shape}"
+        );
+        Tensor {
+            buf: Arc::new(TrackedBuf::from_vec(data)),
+            shape,
+        }
+    }
+
+    /// Wraps an already-filled tracked buffer (typically pooled, via
+    /// [`TrackedBuf::raw`]) without copying. This is how kernels outside this
+    /// crate hand pooled storage back as a tensor.
+    ///
+    /// # Panics
+    /// If `buf.len() != shape.numel()`.
+    pub fn from_buf(shape: impl Into<Shape>, buf: TrackedBuf) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            buf.len(),
+            shape.numel(),
+            "from_buf: buffer length vs shape {shape}"
+        );
+        Tensor {
+            buf: Arc::new(buf),
+            shape,
+        }
     }
 
     /// Uniform random tensor in `[lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
         let shape = shape.into();
         let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
-        Tensor { buf: Arc::new(TrackedBuf::from_vec(data)), shape }
+        Tensor {
+            buf: Arc::new(TrackedBuf::from_vec(data)),
+            shape,
+        }
     }
 
     /// Glorot/Xavier-uniform initialisation for a `[fan_in, fan_out]` weight.
@@ -117,7 +179,12 @@ impl Tensor {
     /// # Panics
     /// If the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on non-scalar tensor {}", self.shape);
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on non-scalar tensor {}",
+            self.shape
+        );
         self.data()[0]
     }
 
@@ -129,8 +196,17 @@ impl Tensor {
     /// Returns a tensor with the same data but a new shape of equal numel.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
-        assert_eq!(shape.numel(), self.numel(), "reshape {} -> {}", self.shape, shape);
-        Tensor { buf: Arc::clone(&self.buf), shape }
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape {} -> {}",
+            self.shape,
+            shape
+        );
+        Tensor {
+            buf: Arc::clone(&self.buf),
+            shape,
+        }
     }
 
     /// Max absolute difference to another tensor of the same shape.
@@ -152,16 +228,21 @@ impl Tensor {
 
     fn unary(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let src = self.data();
-        let mut out = TrackedBuf::zeros(src.len());
+        let mut out = TrackedBuf::raw(src.len());
         let dst = out.as_mut_slice();
-        if src.len() >= PAR_MIN {
-            dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d = f(s));
+        if src.len() >= par_min() {
+            dst.par_iter_mut()
+                .zip(src.par_iter())
+                .for_each(|(d, &s)| *d = f(s));
         } else {
             for (d, &s) in dst.iter_mut().zip(src) {
                 *d = f(s);
             }
         }
-        Tensor { buf: Arc::new(out), shape: self.shape }
+        Tensor {
+            buf: Arc::new(out),
+            shape: self.shape,
+        }
     }
 
     fn binary(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
@@ -172,9 +253,9 @@ impl Tensor {
         );
         let a = self.data();
         let b = other.data();
-        let mut out = TrackedBuf::zeros(a.len());
+        let mut out = TrackedBuf::raw(a.len());
         let dst = out.as_mut_slice();
-        if a.len() >= PAR_MIN {
+        if a.len() >= par_min() {
             dst.par_iter_mut()
                 .zip(a.par_iter().zip(b.par_iter()))
                 .for_each(|(d, (&x, &y))| *d = f(x, y));
@@ -183,7 +264,10 @@ impl Tensor {
                 dst[i] = f(a[i], b[i]);
             }
         }
-        Tensor { buf: Arc::new(out), shape: self.shape }
+        Tensor {
+            buf: Arc::new(out),
+            shape: self.shape,
+        }
     }
 
     // ---------- elementwise ----------
@@ -272,43 +356,40 @@ impl Tensor {
 
     /// Matrix product `self @ other` for `[n,k] x [k,m]`.
     ///
-    /// Row-parallel with a cache-friendly `ikj` inner order, matching the
-    /// vertex-parallel decomposition of a GPU GEMM over n.
+    /// Row-parallel (the vertex-parallel decomposition of a GPU GEMM over n),
+    /// with each row computed by a k-blocked, 8-wide register-tiled
+    /// microkernel — see [`matmul_row`]. Results are deterministic: the
+    /// per-element summation order depends only on the shapes.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let (n, k) = self.shape.as_mat();
         let (k2, m) = other.shape.as_mat();
         assert_eq!(k, k2, "matmul {} x {}", self.shape, other.shape);
         let a = self.data();
         let b = other.data();
-        let mut out = TrackedBuf::zeros(n * m);
+        let mut out = TrackedBuf::raw(n * m);
         let work = n * m * k;
-        let body = |(i, row): (usize, &mut [f32])| {
-            let arow = &a[i * k..(i + 1) * k];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * m..(kk + 1) * m];
-                for (j, &bv) in brow.iter().enumerate() {
-                    row[j] += av * bv;
-                }
-            }
-        };
-        if work >= PAR_MIN {
-            out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(body);
+        let body = |(i, row): (usize, &mut [f32])| matmul_row(row, &a[i * k..(i + 1) * k], b, m);
+        if work >= par_min() {
+            out.as_mut_slice()
+                .par_chunks_mut(m)
+                .enumerate()
+                .for_each(body);
         } else {
             out.as_mut_slice().chunks_mut(m).enumerate().for_each(body);
         }
-        Tensor { buf: Arc::new(out), shape: Shape::Mat(n, m) }
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Mat(n, m),
+        }
     }
 
     /// Matrix transpose (materialised).
     pub fn transpose(&self) -> Tensor {
         let (n, m) = self.shape.as_mat();
         let a = self.data();
-        let mut out = TrackedBuf::zeros(n * m);
+        let mut out = TrackedBuf::raw(n * m);
         let dst = out.as_mut_slice();
-        if n * m >= PAR_MIN {
+        if n * m >= par_min() {
             dst.par_chunks_mut(n).enumerate().for_each(|(j, col)| {
                 for (i, slot) in col.iter_mut().enumerate() {
                     *slot = a[i * m + j];
@@ -321,7 +402,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { buf: Arc::new(out), shape: Shape::Mat(m, n) }
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Mat(m, n),
+        }
     }
 
     // ---------- broadcasts ----------
@@ -329,22 +413,36 @@ impl Tensor {
     /// Adds a length-`cols` bias vector to every row of a matrix.
     pub fn add_bias(&self, bias: &Tensor) -> Tensor {
         let (_, m) = self.shape.as_mat();
-        assert_eq!(bias.numel(), m, "add_bias: bias {} vs cols {m}", bias.shape());
+        assert_eq!(
+            bias.numel(),
+            m,
+            "add_bias: bias {} vs cols {m}",
+            bias.shape()
+        );
         let b = bias.data();
         let a = self.data();
-        let mut out = TrackedBuf::zeros(a.len());
+        let mut out = TrackedBuf::raw(a.len());
         let dst = out.as_mut_slice();
         let body = |(_i, (drow, arow)): (usize, (&mut [f32], &[f32]))| {
             for j in 0..m {
                 drow[j] = arow[j] + b[j];
             }
         };
-        if a.len() >= PAR_MIN {
-            dst.par_chunks_mut(m).zip(a.par_chunks(m)).enumerate().for_each(body);
+        if a.len() >= par_min() {
+            dst.par_chunks_mut(m)
+                .zip(a.par_chunks(m))
+                .enumerate()
+                .for_each(body);
         } else {
-            dst.chunks_mut(m).zip(a.chunks(m)).enumerate().for_each(body);
+            dst.chunks_mut(m)
+                .zip(a.chunks(m))
+                .enumerate()
+                .for_each(body);
         }
-        Tensor { buf: Arc::new(out), shape: self.shape }
+        Tensor {
+            buf: Arc::new(out),
+            shape: self.shape,
+        }
     }
 
     /// Scales row `i` of a matrix by `s[i]` (per-node normalisation).
@@ -353,7 +451,7 @@ impl Tensor {
         assert_eq!(s.numel(), n, "scale_rows: scale {} vs rows {n}", s.shape());
         let sv = s.data();
         let a = self.data();
-        let mut out = TrackedBuf::zeros(a.len());
+        let mut out = TrackedBuf::raw(a.len());
         let dst = out.as_mut_slice();
         let body = |(i, (drow, arow)): (usize, (&mut [f32], &[f32]))| {
             let f = sv[i];
@@ -361,12 +459,21 @@ impl Tensor {
                 drow[j] = arow[j] * f;
             }
         };
-        if a.len() >= PAR_MIN {
-            dst.par_chunks_mut(m).zip(a.par_chunks(m)).enumerate().for_each(body);
+        if a.len() >= par_min() {
+            dst.par_chunks_mut(m)
+                .zip(a.par_chunks(m))
+                .enumerate()
+                .for_each(body);
         } else {
-            dst.chunks_mut(m).zip(a.chunks(m)).enumerate().for_each(body);
+            dst.chunks_mut(m)
+                .zip(a.chunks(m))
+                .enumerate()
+                .for_each(body);
         }
-        Tensor { buf: Arc::new(out), shape: self.shape }
+        Tensor {
+            buf: Arc::new(out),
+            shape: self.shape,
+        }
     }
 
     /// Repeats a `[n, 1]` column (or `[n]` vector) across `w` columns.
@@ -374,12 +481,15 @@ impl Tensor {
         let n = self.rows();
         assert_eq!(self.cols(), 1, "broadcast_col takes a single-column tensor");
         let src = self.data();
-        let mut out = TrackedBuf::zeros(n * w);
+        let mut out = TrackedBuf::raw(n * w);
         let dst = out.as_mut_slice();
         for i in 0..n {
             dst[i * w..(i + 1) * w].fill(src[i]);
         }
-        Tensor { buf: Arc::new(out), shape: Shape::Mat(n, w) }
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Mat(n, w),
+        }
     }
 
     // ---------- reductions ----------
@@ -387,8 +497,8 @@ impl Tensor {
     /// Sum of all elements as a scalar tensor.
     pub fn sum(&self) -> Tensor {
         let d = self.data();
-        let s: f32 = if d.len() >= PAR_MIN {
-            d.par_chunks(PAR_MIN).map(|c| c.iter().sum::<f32>()).sum()
+        let s: f32 = if d.len() >= par_min() {
+            d.par_chunks(par_min()).map(|c| c.iter().sum::<f32>()).sum()
         } else {
             d.iter().sum()
         };
@@ -404,24 +514,31 @@ impl Tensor {
     pub fn sum_axis0(&self) -> Tensor {
         let (n, m) = self.shape.as_mat();
         let a = self.data();
-        let mut acc = vec![0.0f32; m];
+        let mut out = TrackedBuf::zeros(m);
+        let acc = out.as_mut_slice();
         for i in 0..n {
             for j in 0..m {
                 acc[j] += a[i * m + j];
             }
         }
-        Tensor::from_vec(m, acc)
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Vec(m),
+        }
     }
 
     /// Row sums of a matrix, as a `[rows]` vector.
     pub fn sum_axis1(&self) -> Tensor {
         let (n, m) = self.shape.as_mat();
         let a = self.data();
-        let mut acc = vec![0.0f32; n];
-        for (i, slot) in acc.iter_mut().enumerate() {
+        let mut out = TrackedBuf::raw(n);
+        for (i, slot) in out.as_mut_slice().iter_mut().enumerate() {
             *slot = a[i * m..(i + 1) * m].iter().sum();
         }
-        Tensor::from_vec(n, acc)
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Vec(n),
+        }
     }
 
     // ---------- structural ----------
@@ -434,7 +551,7 @@ impl Tensor {
             assert_eq!(p.rows(), n, "concat_cols: row mismatch");
         }
         let total: usize = parts.iter().map(|p| p.cols()).sum();
-        let mut out = TrackedBuf::zeros(n * total);
+        let mut out = TrackedBuf::raw(n * total);
         let dst = out.as_mut_slice();
         let mut off = 0;
         for p in parts {
@@ -445,7 +562,10 @@ impl Tensor {
             }
             off += m;
         }
-        Tensor { buf: Arc::new(out), shape: Shape::Mat(n, total) }
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Mat(n, total),
+        }
     }
 
     /// Extracts columns `lo..hi` of a matrix.
@@ -454,12 +574,15 @@ impl Tensor {
         assert!(lo <= hi && hi <= m, "slice_cols {lo}..{hi} of {m}");
         let w = hi - lo;
         let a = self.data();
-        let mut out = TrackedBuf::zeros(n * w);
+        let mut out = TrackedBuf::raw(n * w);
         let dst = out.as_mut_slice();
         for i in 0..n {
             dst[i * w..(i + 1) * w].copy_from_slice(&a[i * m + lo..i * m + hi]);
         }
-        Tensor { buf: Arc::new(out), shape: Shape::Mat(n, w) }
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Mat(n, w),
+        }
     }
 
     /// Gathers rows by index: `out[e] = self[idx[e]]`.
@@ -470,19 +593,22 @@ impl Tensor {
     pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
         let (n, m) = self.shape.as_mat();
         let a = self.data();
-        let mut out = TrackedBuf::zeros(idx.len() * m);
+        let mut out = TrackedBuf::raw(idx.len() * m);
         let dst = out.as_mut_slice();
         let body = |(e, row): (usize, &mut [f32])| {
             let i = idx[e] as usize;
             debug_assert!(i < n);
             row.copy_from_slice(&a[i * m..(i + 1) * m]);
         };
-        if idx.len() * m >= PAR_MIN {
+        if idx.len() * m >= par_min() {
             dst.par_chunks_mut(m).enumerate().for_each(body);
         } else {
             dst.chunks_mut(m).enumerate().for_each(body);
         }
-        Tensor { buf: Arc::new(out), shape: Shape::Mat(idx.len(), m) }
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Mat(idx.len(), m),
+        }
     }
 
     /// Scatter-add of per-edge rows into `n_rows` destination rows:
@@ -504,13 +630,65 @@ impl Tensor {
                     atomic_add_f32(&atomic[d * m + j], v);
                 }
             };
-            if ne * m >= PAR_MIN {
+            if ne * m >= par_min() {
                 (0..ne).into_par_iter().for_each(body);
             } else {
                 (0..ne).for_each(body);
             }
         }
-        Tensor { buf: Arc::new(out), shape: Shape::Mat(n_rows, m) }
+        Tensor {
+            buf: Arc::new(out),
+            shape: Shape::Mat(n_rows, m),
+        }
+    }
+}
+
+/// k-block depth of the matmul microkernel. A block touches an
+/// 8-column × 256-row panel of B (8 KiB) plus a 1 KiB stripe of the A row —
+/// both stay resident in a 32 KiB L1d across the panel sweep.
+const MATMUL_KB: usize = 256;
+
+/// Width of the matmul register tile: 8 independent accumulators give the
+/// out-of-order core parallel FMA chains instead of one serial
+/// load-add-store dependency through the output row.
+const MATMUL_JW: usize = 8;
+
+/// Computes one output row `row = arow · B` (B row-major, `m` columns).
+///
+/// The j-loop is tiled [`MATMUL_JW`] wide with the partial sums held in a
+/// stack array (registers after unrolling), so the inner k-loop does no
+/// output-row loads or stores; the k-loop is blocked [`MATMUL_KB`] deep so
+/// the B panel it streams stays L1-resident. Columns past the last full tile
+/// fall back to the untiled update. Summation order per element is fixed by
+/// the shapes, keeping results bit-deterministic under any thread count.
+fn matmul_row(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
+    row.fill(0.0);
+    let k = arow.len();
+    let mut k0 = 0;
+    while k0 < k {
+        let kend = (k0 + MATMUL_KB).min(k);
+        let mut j0 = 0;
+        while j0 + MATMUL_JW <= m {
+            let mut acc = [0.0f32; MATMUL_JW];
+            acc.copy_from_slice(&row[j0..j0 + MATMUL_JW]);
+            for (kk, &av) in arow[k0..kend].iter().enumerate() {
+                let brow = &b[(k0 + kk) * m + j0..(k0 + kk) * m + j0 + MATMUL_JW];
+                for (x, &bv) in acc.iter_mut().zip(brow) {
+                    *x += av * bv;
+                }
+            }
+            row[j0..j0 + MATMUL_JW].copy_from_slice(&acc);
+            j0 += MATMUL_JW;
+        }
+        if j0 < m {
+            for (kk, &av) in arow[k0..kend].iter().enumerate() {
+                let brow = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
+                for (x, &bv) in row[j0..].iter_mut().zip(&brow[j0..]) {
+                    *x += av * bv;
+                }
+            }
+        }
+        k0 = kend;
     }
 }
 
@@ -625,9 +803,15 @@ mod tests {
     fn broadcasts() {
         let a = Tensor::from_vec((2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let bias = Tensor::from_vec(3, vec![10.0, 20.0, 30.0]);
-        assert_eq!(a.add_bias(&bias).to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(
+            a.add_bias(&bias).to_vec(),
+            vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]
+        );
         let s = Tensor::from_vec(2, vec![2.0, -1.0]);
-        assert_eq!(a.scale_rows(&s).to_vec(), vec![2.0, 4.0, 6.0, -4.0, -5.0, -6.0]);
+        assert_eq!(
+            a.scale_rows(&s).to_vec(),
+            vec![2.0, 4.0, 6.0, -4.0, -5.0, -6.0]
+        );
     }
 
     #[test]
@@ -675,8 +859,8 @@ mod tests {
                 seq[idx[e] as usize * m + j] += x.at(e, j);
             }
         }
-        for i in 0..n * m {
-            assert!((par.data()[i] - seq[i]).abs() < 1e-3);
+        for (p, s) in par.data().iter().zip(&seq) {
+            assert!((p - s).abs() < 1e-3);
         }
     }
 

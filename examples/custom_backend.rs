@@ -59,7 +59,8 @@ impl AggregationBackend for CountingBackend {
             .fetch_add(prog.aggregations().len() as u64, Ordering::Relaxed);
         let floats: u64 = inputs.iter().map(|t| t.numel() as u64).sum();
         self.stats.input_floats.fetch_add(floats, Ordering::Relaxed);
-        self.inner.execute(prog, graph, inputs, node_consts, edge_consts, save)
+        self.inner
+            .execute(prog, graph, inputs, node_consts, edge_consts, save)
     }
 }
 
@@ -68,7 +69,10 @@ fn main() {
     let snap = Snapshot::from_edges(ds.graph.num_nodes(), &ds.graph.edges);
 
     let stats = Arc::new(Stats::default());
-    let backend = Box::new(CountingBackend { inner: SeastarBackend, stats: Arc::clone(&stats) });
+    let backend = Box::new(CountingBackend {
+        inner: SeastarBackend,
+        stats: Arc::clone(&stats),
+    });
     let exec = TemporalExecutor::new(backend, GraphSource::Static(snap));
 
     let mut rng = ChaCha8Rng::seed_from_u64(9);
@@ -94,6 +98,10 @@ fn main() {
     // A TGCN has 3 convolutions per timestep; each compiles to one forward
     // program (1 aggregation) and one backward program (1 aggregation).
     let timesteps = (ds.num_timestamps() * epochs) as u64;
-    assert_eq!(programs, 3 * 2 * timesteps, "3 convs x fwd+bwd per timestep");
+    assert_eq!(
+        programs,
+        3 * 2 * timesteps,
+        "3 convs x fwd+bwd per timestep"
+    );
     println!("  (= 3 convolutions x forward+backward x {timesteps} timesteps)");
 }

@@ -25,8 +25,10 @@ use stgraph_tensor::Tensor;
 
 fn run(name: &str, src: &DtdgSource, provider: Rc<RefCell<dyn DtdgGraph>>) {
     mem::with_pool(name, || {
-        let exec =
-            TemporalExecutor::new(create_backend("seastar"), GraphSource::Dynamic(provider.clone()));
+        let exec = TemporalExecutor::new(
+            create_backend("seastar"),
+            GraphSource::Dynamic(provider.clone()),
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut params = ParamSet::new();
         let cell = Tgcn::new(&mut params, "tgcn", 8, 16, &mut rng);
@@ -40,7 +42,11 @@ fn run(name: &str, src: &DtdgSource, provider: Rc<RefCell<dyn DtdgGraph>>) {
             loss = train_epoch_link_prediction(&cell, &exec, &mut opt, &feats, &batches, 5);
         }
         let elapsed = start.elapsed().as_secs_f64();
-        let upd = provider.borrow_mut().take_update_time().as_secs_f64().min(elapsed);
+        let upd = provider
+            .borrow_mut()
+            .take_update_time()
+            .as_secs_f64()
+            .min(elapsed);
         let (_, auc, acc) = eval_link_prediction(&cell, &exec, &feats, &batches, 5);
         let _ = exec.take_gnn_time();
         println!(

@@ -19,13 +19,18 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(17);
 
     // Two relation types over the same users.
-    let follows: Vec<(u32, u32)> =
-        (0..4 * n).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
-    let mentions: Vec<(u32, u32)> =
-        (0..2 * n).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect();
+    let follows: Vec<(u32, u32)> = (0..4 * n)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    let mentions: Vec<(u32, u32)> = (0..2 * n)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
     let graph = HeteroGraph::new(
         n,
-        vec![("follows".to_string(), follows.clone()), ("mentions".to_string(), mentions.clone())],
+        vec![
+            ("follows".to_string(), follows.clone()),
+            ("mentions".to_string(), mentions.clone()),
+        ],
     );
     println!(
         "hetero graph: {} nodes, relations: {:?} with {} / {} edges",
@@ -52,7 +57,10 @@ fn main() {
     let mut params = ParamSet::new();
     let conv1 = RgcnConv::new(&mut params, "l1", 4, 16, 2, &mut rng);
     let readout = Linear::new(&mut params, "out", 16, 1, true, &mut rng);
-    println!("model: 1-layer R-GCN + readout, {} parameters\n", params.numel());
+    println!(
+        "model: 1-layer R-GCN + readout, {} parameters\n",
+        params.numel()
+    );
     let mut opt = Adam::new(params, 0.01);
 
     for epoch in 1..=80 {

@@ -18,10 +18,7 @@ use stgraph_graph::base::{STGraphBase, Snapshot};
 use stgraph_tensor::nn::ParamSet;
 use stgraph_tensor::optim::Adam;
 
-fn train_one<C: RecurrentCell>(
-    name: &str,
-    make: impl FnOnce(&mut ParamSet, &mut ChaCha8Rng) -> C,
-) {
+fn train_one<C: RecurrentCell>(name: &str, make: impl FnOnce(&mut ParamSet, &mut ChaCha8Rng) -> C) {
     let lags = 8;
     let ds = load_static("montevideo-bus", lags, 30);
     let snapshot = Snapshot::from_edges(ds.graph.num_nodes(), &ds.graph.edges);
@@ -50,5 +47,7 @@ fn main() {
     println!("Forecasting passenger inflow on the Montevideo bus network (675 stops)\n");
     train_one("TGCN", |p, rng| Tgcn::new(p, "tgcn", 8, 16, rng));
     train_one("GConvGRU", |p, rng| GConvGru::new(p, "ggru", 8, 16, 2, rng));
-    train_one("GConvLSTM", |p, rng| GConvLstm::new(p, "glstm", 8, 16, 2, rng));
+    train_one("GConvLSTM", |p, rng| {
+        GConvLstm::new(p, "glstm", 8, 16, 2, rng)
+    });
 }

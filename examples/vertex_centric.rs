@@ -33,7 +33,11 @@ fn main() {
     let summed = b.agg_sum_dst(gathered); //  vertex-parallel sum kernel
     let out = b.mul(summed, inv_deg); //      degree-weighted mean
     let program = b.finish(&[out]);
-    println!("traced IR: {} nodes, {} aggregation kernel(s)", program.len(), program.aggregations().len());
+    println!(
+        "traced IR: {} nodes, {} aggregation kernel(s)",
+        program.len(),
+        program.aggregations().len()
+    );
 
     // 2. Compile = differentiate + derive the saved set. The mean
     //    aggregation is linear, so the backward pass needs NO saved
@@ -63,7 +67,10 @@ fn main() {
     let snap = Snapshot::from_edges(n, &edges);
     let inv_deg = Tensor::from_vec(
         (n, 1),
-        snap.in_degrees().iter().map(|&d| 1.0 / (1.0 + d as f32)).collect(),
+        snap.in_degrees()
+            .iter()
+            .map(|&d| 1.0 / (1.0 + d as f32))
+            .collect(),
     );
     let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
 

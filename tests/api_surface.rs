@@ -31,7 +31,9 @@ fn var_one_minus_and_matmul_const() {
     let (x, gx) = tape.input(Tensor::from_vec((2, 2), vec![0.2, 0.4, 0.6, 0.8]));
     let w = Tensor::from_vec((2, 1), vec![1.0, 2.0]);
     let y = x.one_minus().matmul_const(&w);
-    assert!(y.value().approx_eq(&Tensor::from_vec((2, 1), vec![2.0, 0.8]), 1e-6));
+    assert!(y
+        .value()
+        .approx_eq(&Tensor::from_vec((2, 1), vec![2.0, 0.8]), 1e-6));
     let loss = y.sum();
     tape.backward(&loss);
     // d/dx = -(w broadcast over rows).
@@ -60,10 +62,21 @@ fn kernel_reduce_and_broadcast_feat() {
     let prog = b.finish(&[out]);
     let snap = Snapshot::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
     let x = Tensor::from_vec((3, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
-    for be in [&SeastarBackend as &dyn AggregationBackend, &ReferenceBackend] {
-        let out = be.execute(&prog, &snap, &[&x], &[], &[], &[]).outputs.remove(0);
+    for be in [
+        &SeastarBackend as &dyn AggregationBackend,
+        &ReferenceBackend,
+    ] {
+        let out = be
+            .execute(&prog, &snap, &[&x], &[], &[], &[])
+            .outputs
+            .remove(0);
         // node1 <- node0: rowsum 6 -> [6,6]; node2 <- node0+node1: 6+15=21.
-        assert_eq!(out.to_vec(), vec![0.0, 0.0, 6.0, 6.0, 21.0, 21.0], "{}", be.name());
+        assert_eq!(
+            out.to_vec(),
+            vec![0.0, 0.0, 6.0, 6.0, 21.0, 21.0],
+            "{}",
+            be.name()
+        );
     }
 }
 
@@ -102,7 +115,13 @@ fn edge_key_is_monotone_in_src_then_dst() {
     keys.sort_unstable();
     assert_eq!(
         keys,
-        vec![edge_key(0, 0), edge_key(0, 5), edge_key(0, 9), edge_key(1, 0), edge_key(1, 9)]
+        vec![
+            edge_key(0, 0),
+            edge_key(0, 5),
+            edge_key(0, 9),
+            edge_key(1, 0),
+            edge_key(1, 9)
+        ]
     );
 }
 
@@ -110,7 +129,10 @@ fn edge_key_is_monotone_in_src_then_dst() {
 
 #[test]
 fn every_static_dataset_generates_at_table2_shape() {
-    for d in table2().iter().filter(|d| d.kind == GraphKind::StaticTemporal) {
+    for d in table2()
+        .iter()
+        .filter(|d| d.kind == GraphKind::StaticTemporal)
+    {
         let ds = load_static(d.name, 2, 3);
         assert_eq!(ds.graph.num_nodes(), d.num_nodes, "{}", d.name);
         assert_eq!(ds.graph.num_edges(), d.num_edges, "{}", d.name);

@@ -19,9 +19,36 @@ fn dyn_source() -> DtdgSource {
     DtdgSource::from_snapshot_edges(
         8,
         vec![
-            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
-            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (7, 1), (0, 4)],
-            vec![(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (7, 1), (0, 4), (2, 6)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (7, 1),
+                (0, 4),
+            ],
+            vec![
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (7, 1),
+                (0, 4),
+                (2, 6),
+            ],
         ],
     )
 }
@@ -48,8 +75,9 @@ fn gradients_through_on_demand_snapshots_match_numerics() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let mut ps = ParamSet::new();
     let cell = Tgcn::new(&mut ps, "t", 3, 4, &mut rng);
-    let feats: Vec<Tensor> =
-        (0..3).map(|_| Tensor::rand_uniform((8, 3), -1.0, 1.0, &mut rng)).collect();
+    let feats: Vec<Tensor> = (0..3)
+        .map(|_| Tensor::rand_uniform((8, 3), -1.0, 1.0, &mut rng))
+        .collect();
     let target = Tensor::rand_uniform((8, 4), -1.0, 1.0, &mut rng);
 
     let fresh_exec = || {
@@ -96,8 +124,9 @@ fn algorithm1_sequence_loss_equals_sum_of_per_timestamp_losses() {
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let mut ps = ParamSet::new();
     let cell = Tgcn::new(&mut ps, "t", 2, 3, &mut rng);
-    let feats: Vec<Tensor> =
-        (0..4).map(|_| Tensor::rand_uniform((6, 2), -1.0, 1.0, &mut rng)).collect();
+    let feats: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::rand_uniform((6, 2), -1.0, 1.0, &mut rng))
+        .collect();
 
     // Accumulated on one tape.
     let tape = Tape::new();
@@ -140,7 +169,10 @@ fn algorithm1_sequence_loss_equals_sum_of_per_timestamp_losses() {
         h_val = Some(hn.value().clone());
         tape.backward(&l.mul_scalar(0.0));
     }
-    assert!((acc - acc2).abs() < 1e-3 * (1.0 + acc.abs()), "{acc} vs {acc2}");
+    assert!(
+        (acc - acc2).abs() < 1e-3 * (1.0 + acc.abs()),
+        "{acc} vs {acc2}"
+    );
 }
 
 #[test]
@@ -157,8 +189,9 @@ fn backward_snapshot_direction_is_exercised() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let mut ps = ParamSet::new();
     let cell = Tgcn::new(&mut ps, "t", 2, 3, &mut rng);
-    let feats: Vec<Tensor> =
-        (0..3).map(|_| Tensor::rand_uniform((8, 2), -1.0, 1.0, &mut rng)).collect();
+    let feats: Vec<Tensor> = (0..3)
+        .map(|_| Tensor::rand_uniform((8, 2), -1.0, 1.0, &mut rng))
+        .collect();
     let tape = Tape::new();
     let mut h: Option<Var> = None;
     let mut loss: Option<Var> = None;
@@ -172,9 +205,17 @@ fn backward_snapshot_direction_is_exercised() {
         });
         h = Some(hn);
     }
-    assert_eq!(provider.borrow().current_time(), 2, "forward ends at the last timestamp");
+    assert_eq!(
+        provider.borrow().current_time(),
+        2,
+        "forward ends at the last timestamp"
+    );
     tape.backward(&loss.unwrap());
-    assert_eq!(provider.borrow().current_time(), 0, "backward rewinds to the first");
+    assert_eq!(
+        provider.borrow().current_time(),
+        0,
+        "backward rewinds to the first"
+    );
 }
 
 #[test]
@@ -205,6 +246,10 @@ fn both_backends_produce_equal_gradients() {
     let a = grads_for("seastar");
     let b = grads_for("reference");
     for (ga, gb) in a.iter().zip(&b) {
-        assert!(ga.approx_eq(gb, 1e-4), "backend gradient mismatch: {}", ga.max_abs_diff(gb));
+        assert!(
+            ga.approx_eq(gb, 1e-4),
+            "backend gradient mismatch: {}",
+            ga.max_abs_diff(gb)
+        );
     }
 }

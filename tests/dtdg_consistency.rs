@@ -40,7 +40,8 @@ fn snapshots_agree_on_generated_dataset() {
         }
         for t in (0..src.num_timestamps()).rev() {
             assert!(
-                gpma.get_backward_graph(t).same_structure(&naive.get_backward_graph(t)),
+                gpma.get_backward_graph(t)
+                    .same_structure(&naive.get_backward_graph(t)),
                 "backward divergence at t={t}"
             );
         }
@@ -74,7 +75,10 @@ fn training_losses_identical_naive_vs_gpma() {
     let naive = train_losses(&src, Rc::new(RefCell::new(NaiveGraph::new(&src))), 3);
     let gpma = train_losses(&src, Rc::new(RefCell::new(GpmaGraph::new(&src))), 3);
     for (a, b) in naive.iter().zip(&gpma) {
-        assert!((a - b).abs() < 2e-3 * (1.0 + a.abs()), "naive {a} vs gpma {b}");
+        assert!(
+            (a - b).abs() < 2e-3 * (1.0 + a.abs()),
+            "naive {a} vs gpma {b}"
+        );
     }
     // And training makes progress.
     assert!(gpma.last().unwrap() < gpma.first().unwrap());

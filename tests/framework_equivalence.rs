@@ -43,7 +43,12 @@ fn baseline_losses(ds_name: &str, epochs: usize, seed: u64) -> Vec<f32> {
     (0..epochs)
         .map(|_| {
             pygt_baseline::train::train_epoch_node_regression(
-                &model, &graph, &mut opt, &ds.features, &ds.targets, 6,
+                &model,
+                &graph,
+                &mut opt,
+                &ds.features,
+                &ds.targets,
+                6,
             )
         })
         .collect()
@@ -54,7 +59,10 @@ fn stgraph_and_pygt_match_on_chickenpox() {
     let a = stgraph_losses("seastar", "hungary-chickenpox", 4, 11);
     let b = baseline_losses("hungary-chickenpox", 4, 11);
     for (ea, eb) in a.iter().zip(&b) {
-        assert!((ea - eb).abs() < 5e-3 * (1.0 + ea.abs()), "stgraph {ea} vs pygt {eb}");
+        assert!(
+            (ea - eb).abs() < 5e-3 * (1.0 + ea.abs()),
+            "stgraph {ea} vs pygt {eb}"
+        );
     }
 }
 
@@ -63,7 +71,10 @@ fn stgraph_and_pygt_match_on_pedalme() {
     let a = stgraph_losses("seastar", "pedal-me", 4, 13);
     let b = baseline_losses("pedal-me", 4, 13);
     for (ea, eb) in a.iter().zip(&b) {
-        assert!((ea - eb).abs() < 5e-3 * (1.0 + ea.abs()), "stgraph {ea} vs pygt {eb}");
+        assert!(
+            (ea - eb).abs() < 5e-3 * (1.0 + ea.abs()),
+            "stgraph {ea} vs pygt {eb}"
+        );
     }
 }
 
@@ -72,7 +83,10 @@ fn fused_and_reference_backends_train_identically() {
     let a = stgraph_losses("seastar", "hungary-chickenpox", 3, 17);
     let b = stgraph_losses("reference", "hungary-chickenpox", 3, 17);
     for (ea, eb) in a.iter().zip(&b) {
-        assert!((ea - eb).abs() < 1e-3 * (1.0 + ea.abs()), "seastar {ea} vs reference {eb}");
+        assert!(
+            (ea - eb).abs() < 1e-3 * (1.0 + ea.abs()),
+            "seastar {ea} vs reference {eb}"
+        );
     }
 }
 
@@ -89,7 +103,11 @@ fn identical_seeds_give_identical_initial_weights() {
     assert_eq!(ps_a.len(), ps_b.len());
     for (pa, pb) in ps_a.iter().zip(ps_b.iter()) {
         assert_eq!(pa.name(), pb.name());
-        assert!(pa.value().approx_eq(&pb.value(), 0.0), "param {} differs", pa.name());
+        assert!(
+            pa.value().approx_eq(&pb.value(), 0.0),
+            "param {} differs",
+            pa.name()
+        );
     }
 }
 

@@ -23,7 +23,9 @@ use stgraph_tensor::nn::ParamSet;
 use stgraph_tensor::{Tape, Tensor, Var};
 
 fn ring_edges(n: u32, extra: u32) -> Vec<(u32, u32)> {
-    (0..n).flat_map(|i| (1..=extra).map(move |k| (i, (i + k) % n))).collect()
+    (0..n)
+        .flat_map(|i| (1..=extra).map(move |k| (i, (i + k) % n)))
+        .collect()
 }
 
 /// Runs a TGCN forward over `seq_len` timestamps in a pool, returning the
@@ -59,8 +61,7 @@ fn retained_bytes(pool: &str, seq_len: usize, baseline: bool) -> u64 {
             tape.backward(&loss.unwrap());
         } else {
             let snap = Snapshot::from_edges(n, &edges);
-            let exec =
-                TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+            let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
             let cell = Tgcn::new(&mut ps, "t", f, 16, &mut rng);
             let tape = Tape::new();
             let mut h: Option<Var> = None;
@@ -120,7 +121,10 @@ fn state_stack_bytes_match_saved_set_and_drain() {
     }
     let (_, _, peak_depth, bytes) = exec.state_stack_stats();
     assert_eq!(peak_depth, 4);
-    assert_eq!(bytes, 0, "GCN backward needs no saved features (the §V.B optimisation)");
+    assert_eq!(
+        bytes, 0,
+        "GCN backward needs no saved features (the §V.B optimisation)"
+    );
     let loss = cur.square().sum();
     tape.backward(&loss);
     let (pushes, pops, _, _) = exec.state_stack_stats();
@@ -130,8 +134,9 @@ fn state_stack_bytes_match_saved_set_and_drain() {
 fn churn_source(n: u32, m0: usize, t: usize) -> DtdgSource {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     use rand::Rng;
-    let mut cur: std::collections::BTreeSet<(u32, u32)> =
-        (0..m0).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let mut cur: std::collections::BTreeSet<(u32, u32)> = (0..m0)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
     let mut snaps = vec![cur.iter().copied().collect::<Vec<_>>()];
     for _ in 1..t {
         let removals: Vec<(u32, u32)> =
@@ -179,7 +184,10 @@ fn naive_storage_scales_with_timestamps_gpma_does_not() {
         (gpma_long as f64) < 2.5 * gpma_short as f64,
         "gpma should stay near-flat: {gpma_short} -> {gpma_long}"
     );
-    assert!(gpma_long < naive_long, "gpma {gpma_long} vs naive {naive_long} at T=32");
+    assert!(
+        gpma_long < naive_long,
+        "gpma {gpma_long} vs naive {naive_long} at T=32"
+    );
 }
 
 #[test]

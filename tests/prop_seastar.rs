@@ -161,12 +161,27 @@ fn build_program(widths: &[usize], steps: &[Step]) -> Program {
 }
 
 fn test_graph() -> Snapshot {
-    Snapshot::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (0, 3), (2, 4), (5, 0), (4, 5)])
+    Snapshot::from_edges(
+        6,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (0, 3),
+            (2, 4),
+            (5, 0),
+            (4, 5),
+        ],
+    )
 }
 
 fn make_inputs(widths: &[usize], seed: u64) -> Vec<Tensor> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    widths.iter().map(|&w| Tensor::rand_uniform((6, w), -1.0, 1.0, &mut rng)).collect()
+    widths
+        .iter()
+        .map(|&w| Tensor::rand_uniform((6, w), -1.0, 1.0, &mut rng))
+        .collect()
 }
 
 /// Runs forward + backward via a backend, returning (output, input grads).
@@ -180,8 +195,11 @@ fn run(
     let plan = differentiate(prog);
     let refs: Vec<&Tensor> = inputs.iter().collect();
     let fwd = be.execute(prog, graph, &refs, &[], &[], &plan.save_ids());
-    let n_node_value_saves =
-        plan.node_saves.iter().filter(|s| matches!(s, NodeSave::Value(_))).count();
+    let n_node_value_saves = plan
+        .node_saves
+        .iter()
+        .filter(|s| matches!(s, NodeSave::Value(_)))
+        .count();
     let (node_vals, edge_vals) = fwd.saved.split_at(n_node_value_saves);
     let mut node_iter = node_vals.iter();
     let mut b_node_consts: Vec<&Tensor> = Vec::new();
@@ -192,8 +210,14 @@ fn run(
         }
     }
     let b_edge_consts: Vec<&Tensor> = edge_vals.iter().collect();
-    let bexec =
-        be.execute(&plan.program, graph, &[seed_grad], &b_node_consts, &b_edge_consts, &[]);
+    let bexec = be.execute(
+        &plan.program,
+        graph,
+        &[seed_grad],
+        &b_node_consts,
+        &b_edge_consts,
+        &[],
+    );
     let grads = plan
         .input_grads
         .iter()

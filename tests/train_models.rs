@@ -31,8 +31,7 @@ fn train_cell<C: RecurrentCell>(
     let cell = make(&mut ps, &mut rng);
     let model = NodeRegressor::new(&mut ps, cell, 1, &mut rng);
     let mut opt = Adam::new(ps, 0.01);
-    let first =
-        train_epoch_node_regression(&model, &exec, &mut opt, &ds.features, &ds.targets, 8);
+    let first = train_epoch_node_regression(&model, &exec, &mut opt, &ds.features, &ds.targets, 8);
     let mut last = first;
     for _ in 1..epochs {
         last = train_epoch_node_regression(&model, &exec, &mut opt, &ds.features, &ds.targets, 8);
@@ -82,8 +81,7 @@ fn a3tgcn_attention_trains_over_windows() {
     let mut ps = ParamSet::new();
     let periods = 3;
     let model = A3Tgcn::new(&mut ps, "a3", 4, 12, periods, &mut rng);
-    let readout =
-        stgraph_tensor::nn::Linear::new(&mut ps, "out", 12, 1, true, &mut rng);
+    let readout = stgraph_tensor::nn::Linear::new(&mut ps, "out", 12, 1, true, &mut rng);
     let mut opt = Adam::new(ps.clone(), 0.01);
 
     let run_epoch = |opt: &mut Adam| -> f32 {
@@ -93,8 +91,9 @@ fn a3tgcn_attention_trains_over_windows() {
         while t0 + periods <= ds.num_timestamps() {
             opt.zero_grad();
             let tape = Tape::new();
-            let xs: Vec<Var> =
-                (0..periods).map(|p| tape.constant(ds.features[t0 + p].clone())).collect();
+            let xs: Vec<Var> = (0..periods)
+                .map(|p| tape.constant(ds.features[t0 + p].clone()))
+                .collect();
             let h = model.forward(&tape, &exec, t0, &xs, None);
             let pred = readout.forward(&tape, &h.relu());
             let loss = pred.mse_loss(&ds.targets[t0 + periods - 1]);
@@ -115,7 +114,11 @@ fn a3tgcn_attention_trains_over_windows() {
     // Attention moved away from uniform.
     let att = model.attention.value();
     let spread = att.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-    assert!(spread > 1e-4, "attention logits should move: {:?}", att.to_vec());
+    assert!(
+        spread > 1e-4,
+        "attention logits should move: {:?}",
+        att.to_vec()
+    );
 }
 
 #[test]
@@ -145,7 +148,10 @@ fn gat_based_recurrent_model_trains() {
                 None => tape.constant(Tensor::zeros((n, self.hidden))),
             };
             let c = self.conv.forward(tape, exec, t, x);
-            let z = self.lin.forward(tape, &Var::concat_cols(&[&c, &h])).sigmoid();
+            let z = self
+                .lin
+                .forward(tape, &Var::concat_cols(&[&c, &h]))
+                .sigmoid();
             z.mul(&h).add(&z.one_minus().mul(&c.tanh()))
         }
     }

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A real measuring harness with criterion's API shape: warm-up, then
+//! timed samples sized to fill the configured measurement time, reported
+//! as `[min median max]` per iteration. No HTML reports, statistics
+//! beyond the three-point summary, or baseline comparisons.
+//!
+//! `cargo bench -- <filter>` runs matching benchmarks; `--test` (passed
+//! by `cargo test --benches`) runs each routine once for a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`]
+/// (the stand-in times each call individually regardless).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with untimed per-call `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level harness state (filter and mode from the CLI).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total sampling duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `routine` with a reference to `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.name, &mut |b| routine(b, input));
+    }
+
+    /// Benchmarks `routine` without an input parameter.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.name, &mut routine);
+    }
+
+    /// Finishes the group (formatting no-op; kept for API parity).
+    pub fn finish(self) {}
+
+    fn run(&self, bench_name: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, bench_name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            routine(&mut b);
+            println!("{full}: ok (test mode)");
+            return;
+        }
+
+        // Estimate per-iteration cost, doubling until measurable.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            routine(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break b.elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+
+        // Warm up for the configured duration.
+        let warm_iters = (self.warm_up_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+        let mut b = Bencher { iters: warm_iters.clamp(1, 1 << 24), elapsed: Duration::ZERO };
+        routine(&mut b);
+
+        // Sample: split measurement_time across sample_size samples.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let sample_iters = ((per_sample / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1 << 24);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+            routine(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = samples[0];
+        let med = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{full:<50} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(med),
+            fmt_time(max),
+            samples.len(),
+            sample_iters,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a group function running each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion { filter: None, test_mode: false };
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function(BenchmarkId::new("spin", 1), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("batched", 2), &4u64, |b, &n| {
+            b.iter_batched(|| vec![1u64; n as usize], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nope".to_string()), test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::new("skipped", 0), |_b| {
+            panic!("filtered benchmark must not run")
+        });
+        group.finish();
+    }
+}

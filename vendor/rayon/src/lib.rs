@@ -1,0 +1,507 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator subset this workspace uses with the
+//! same semantics as rayon: work is recursively `split_at` into
+//! contiguous halves and the halves run on `std::thread::scope` threads.
+//! On a single-core host (or under `RAYON_NUM_THREADS=1`) everything runs
+//! on the calling thread with zero spawn overhead. Unlike rayon there is
+//! no persistent work-stealing pool, so per-call spawn cost is higher —
+//! the workspace's `par_min()` cutover keeps small kernels sequential.
+
+use std::sync::Mutex;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Recursively splits `iter` into ~`2^depth` pieces, consuming each piece
+/// with `leaf` on scoped threads.
+fn run_split<P, F>(iter: P, depth: u32, leaf: &F)
+where
+    P: ParallelIterator,
+    F: Fn(P) + Sync,
+{
+    if depth == 0 || iter.par_len() <= 1 {
+        leaf(iter);
+        return;
+    }
+    let mid = iter.par_len() / 2;
+    let (left, right) = iter.split_at(mid);
+    std::thread::scope(|scope| {
+        scope.spawn(move || run_split(left, depth - 1, leaf));
+        run_split(right, depth - 1, leaf);
+    });
+}
+
+fn split_depth() -> u32 {
+    current_num_threads().next_power_of_two().trailing_zeros()
+}
+
+/// A splittable, contiguous work source — the stand-in's single iterator
+/// trait (rayon's `ParallelIterator` + `IndexedParallelIterator`).
+pub trait ParallelIterator: Sized + Send {
+    /// Item produced for each element.
+    type Item: Send;
+    /// Sequential iterator driving one contiguous piece.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Remaining number of items.
+    fn par_len(&self) -> usize;
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Converts this piece into a sequential iterator.
+    fn into_seq(self) -> Self::SeqIter;
+
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Pairs items positionally with `other` (truncating to the shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        let n = self.par_len().min(other.par_len());
+        Zip { a: self.split_at(n).0, b: other.split_at(n).0 }
+    }
+
+    /// Attaches the global index to each item.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self, offset: 0 }
+    }
+
+    /// Consumes every item with `f`, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let depth = split_depth();
+        if depth == 0 {
+            self.into_seq().for_each(f);
+        } else {
+            run_split(self, depth, &|piece: Self| piece.into_seq().for_each(&f));
+        }
+    }
+
+    /// Like [`ParallelIterator::for_each`], with per-piece state built by
+    /// `init` (rayon's `for_each_init`).
+    fn for_each_init<I, T, F>(self, init: I, f: F)
+    where
+        I: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) + Sync + Send,
+    {
+        let depth = split_depth();
+        let leaf = |piece: Self| {
+            let mut state = init();
+            piece.into_seq().for_each(|item| f(&mut state, item));
+        };
+        if depth == 0 {
+            leaf(self);
+        } else {
+            run_split(self, depth, &leaf);
+        }
+    }
+
+    /// Sums all items (parallel tree reduction over pieces).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let depth = split_depth();
+        if depth == 0 {
+            return self.into_seq().sum();
+        }
+        let partials: Mutex<Vec<S>> = Mutex::new(Vec::new());
+        run_split(self, depth, &|piece: Self| {
+            let part: S = piece.into_seq().sum();
+            partials.lock().unwrap().push(part);
+        });
+        partials.into_inner().unwrap().into_iter().sum()
+    }
+}
+
+/// Map adapter.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    type SeqIter = std::iter::Map<I::SeqIter, F>;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (Map { inner: l, f: self.f.clone() }, Map { inner: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.inner.into_seq().map(self.f)
+    }
+}
+
+/// Positional zip adapter (both sides already truncated to equal length).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn par_len(&self) -> usize {
+        self.a.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Enumerate adapter carrying the piece's global base index.
+pub struct Enumerate<I> {
+    inner: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type SeqIter = std::iter::Zip<std::ops::RangeFrom<usize>, I::SeqIter>;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (
+            Enumerate { inner: l, offset: self.offset },
+            Enumerate { inner: r, offset: self.offset + index },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        (self.offset..).zip(self.inner.into_seq())
+    }
+}
+
+/// Parallel shared-slice iterator (`par_iter`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SliceIter { slice: l }, SliceIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel exclusive-slice iterator (`par_iter_mut`).
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: l }, SliceIterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel chunk iterator (`par_chunks`); splits on chunk boundaries.
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(elems);
+        (ChunksIter { slice: l, size: self.size }, ChunksIter { slice: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel exclusive chunk iterator (`par_chunks_mut`).
+pub struct ChunksMutIter<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutIter<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elems);
+        (
+            ChunksMutIter { slice: l, size: self.size },
+            ChunksMutIter { slice: r, size: self.size },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Parallel integer-range iterator (`(a..b).into_par_iter()`).
+pub struct RangeIter<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type SeqIter = std::ops::Range<$t>;
+
+            fn par_len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::SeqIter {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+range_par_iter!(u32, u64, usize);
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item produced.
+    type Item: Send;
+    /// Resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter` on shared collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item produced (a shared reference).
+    type Item: Send + 'data;
+    /// Resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter_mut` on exclusive collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item produced (an exclusive reference).
+    type Item: Send + 'data;
+    /// Resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Exclusively borrows `self` as a parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> SliceIterMut<'data, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = SliceIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> SliceIterMut<'data, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized pieces (last may be short).
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ChunksIter { slice: self, size: chunk_size }
+    }
+}
+
+/// `par_chunks_mut` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over exclusive `chunk_size`-sized pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutIter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutIter<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ChunksMutIter { slice: self, size: chunk_size }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_touches_every_item() {
+        let mut v = vec![0u32; 1000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u32);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn zip_map_sum_matches_sequential() {
+        let a: Vec<f32> = (0..4096).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..4096).map(|i| (i * 2) as f32).collect();
+        let par: f32 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).sum();
+        let seq: f32 = a.iter().zip(b.iter()).map(|(x, y)| x + y).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn chunks_enumerate_global_indices() {
+        let mut out = vec![0usize; 100];
+        out.par_chunks_mut(7).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci;
+            }
+        });
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i / 7);
+        }
+    }
+
+    #[test]
+    fn range_for_each_init_covers_range() {
+        let hit = std::sync::Mutex::new(vec![false; 500]);
+        (0..500usize).into_par_iter().for_each_init(
+            || (),
+            |(), i| {
+                hit.lock().unwrap()[i] = true;
+            },
+        );
+        assert!(hit.into_inner().unwrap().iter().all(|&h| h));
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro`
+//! directly (no `syn`/`quote` available offline).
+//!
+//! Supports `#[derive(Serialize)]` on structs with named fields, plus the
+//! `#[serde(flatten)]` field attribute (inlines a nested object's keys) —
+//! exactly the surface this workspace's bench reports use.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+/// Derives `serde::Serialize` (the vendored direct-to-`Value` trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = match parse_struct(&tokens) {
+        Ok(parts) => parts,
+        Err(msg) => return compile_error(&msg),
+    };
+    let fields = match parse_fields(body) {
+        Ok(fields) => fields,
+        Err(msg) => return compile_error(&msg),
+    };
+
+    let mut pushes = String::new();
+    for field in &fields {
+        if field.flatten {
+            pushes.push_str(&format!(
+                "match ::serde::Serialize::to_value(&self.{name}) {{\n\
+                     ::serde::Value::Obj(inner) => fields.extend(inner),\n\
+                     other => fields.push((\"{name}\".to_string(), other)),\n\
+                 }}\n",
+                name = field.name
+            ));
+        } else {
+            pushes.push_str(&format!(
+                "fields.push((\"{name}\".to_string(), \
+                 ::serde::Serialize::to_value(&self.{name})));\n",
+                name = field.name
+            ));
+        }
+    }
+
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Obj(fields)\n\
+             }}\n\
+         }}\n"
+    );
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Finds `struct <Name> {{ ... }}` in the derive input.
+fn parse_struct(tokens: &[TokenTree]) -> Result<(String, TokenStream), String> {
+    let mut iter = tokens.iter();
+    while let Some(tok) = iter.next() {
+        if matches!(tok, TokenTree::Ident(id) if id.to_string() == "struct") {
+            let name = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("expected struct name".to_string()),
+            };
+            for tok in iter {
+                if let TokenTree::Group(g) = tok {
+                    if g.delimiter() == Delimiter::Brace {
+                        return Ok((name, g.stream()));
+                    }
+                }
+            }
+            return Err(format!(
+                "serde stand-in: derive(Serialize) on `{name}` requires named fields"
+            ));
+        }
+    }
+    Err("serde stand-in: derive(Serialize) supports structs only".to_string())
+}
+
+/// Splits the brace body into fields and records `#[serde(flatten)]`.
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut flatten = false;
+    let mut expecting_name = true;
+    let mut angle_depth = 0usize;
+    let mut tokens = body.into_iter().peekable();
+
+    while let Some(tok) = tokens.next() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                // Attribute: the next token is its bracket group.
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    if attr_is_serde_flatten(g.stream()) {
+                        flatten = true;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let word = id.to_string();
+                if word == "pub" {
+                    // Visibility; a `pub(crate)` group is skipped below.
+                    continue;
+                }
+                fields.push(Field { name: word, flatten });
+                flatten = false;
+                expecting_name = false;
+            }
+            TokenTree::Group(_) if expecting_name => {
+                // The parenthesised part of `pub(crate)` etc.
+            }
+            TokenTree::Punct(p) if !expecting_name => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => expecting_name = true,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// True for the bracket-group contents `serde(... flatten ...)`.
+fn attr_is_serde_flatten(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "flatten")),
+        _ => false,
+    }
+}

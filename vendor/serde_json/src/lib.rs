@@ -1,0 +1,144 @@
+//! Offline stand-in for the `serde_json` crate: formats the vendored
+//! `serde::Value` tree as JSON. Only serialization is provided.
+
+use serde::{Serialize, Value};
+
+/// Serialization error (the stand-in's serializers are infallible, but
+/// the upstream signature is kept).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |out, item, ind, d| {
+                write_value(out, item, ind, d)
+            });
+        }
+        Value::Obj(entries) => {
+            write_seq(out, entries.iter(), indent, depth, ('{', '}'), |out, (k, v), ind, d| {
+                write_string(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, ind, d);
+            });
+        }
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, Option<usize>, usize),
+{
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        newline_indent(out, indent, depth + 1);
+        write_item(out, item, indent, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    newline_indent(out, indent, depth);
+    out.push(brackets.1);
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    // serde_json always marks floats as such.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested() {
+        let v = Value::Obj(vec![
+            ("name".to_string(), Value::Str("x".to_string())),
+            ("xs".to_string(), Value::Arr(vec![Value::U64(1), Value::F64(2.5)])),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"name\": \"x\",\n  \"xs\": [\n    1,\n    2.5\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
