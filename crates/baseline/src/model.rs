@@ -14,7 +14,7 @@ use crate::coo::CooGraph;
 use rand::Rng;
 use std::rc::Rc;
 use stgraph_tensor::nn::{Linear, ParamSet};
-use stgraph_tensor::{Tape, Tensor, Var};
+use stgraph_tensor::{Param, StateDict, Tape, Tensor, Var};
 
 /// Edge-parallel normalised message passing: `out = Â_norm h`.
 ///
@@ -73,6 +73,12 @@ impl BaselineGcnConv {
     /// The bias parameter.
     pub fn bias_param(&self) -> Option<&stgraph_tensor::Param> {
         self.linear.bias.as_ref()
+    }
+}
+
+impl StateDict for BaselineGcnConv {
+    fn parameters(&self) -> Vec<Param> {
+        self.linear.parameters()
     }
 }
 
@@ -183,6 +189,19 @@ impl BaselineTgcn {
             .forward(tape, &Var::concat_cols(&[&ch, &rh]))
             .tanh();
         z.mul(&h).add(&z.one_minus().mul(&htilde))
+    }
+}
+
+impl StateDict for BaselineTgcn {
+    fn parameters(&self) -> Vec<Param> {
+        let mut out = Vec::new();
+        out.extend(self.conv_z.parameters());
+        out.extend(self.conv_r.parameters());
+        out.extend(self.conv_h.parameters());
+        out.extend(self.lin_z.parameters());
+        out.extend(self.lin_r.parameters());
+        out.extend(self.lin_h.parameters());
+        out
     }
 }
 

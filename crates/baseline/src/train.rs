@@ -71,6 +71,14 @@ impl BaselineRegressor {
     }
 }
 
+impl stgraph_tensor::StateDict for BaselineRegressor {
+    fn parameters(&self) -> Vec<stgraph_tensor::Param> {
+        let mut out = stgraph_tensor::StateDict::parameters(&self.cell);
+        out.extend(stgraph_tensor::StateDict::parameters(&self.readout));
+        out
+    }
+}
+
 /// One epoch of node regression on a static graph (same sequence split and
 /// detach-across-sequences policy as `stgraph::train`).
 pub fn train_epoch_node_regression(

@@ -46,6 +46,7 @@ Options:
   --scale <n>             dynamic dataset size divisor (default 64)
   --lr <f>                Adam learning rate (default 0.01)
   --seed <n>              RNG seed (default 42)
+  --save <path>           write trained weights as an .stgc checkpoint
   --help                  this text";
 
 fn parse_args() -> HashMap<String, String> {
@@ -98,6 +99,19 @@ fn make_cell(
     }
 }
 
+/// Writes the trained parameters (shared with the optimiser via `Rc`, so
+/// they reflect the final step) as an `.stgc` checkpoint.
+fn save_if_requested(params: &ParamSet, path: Option<&str>) {
+    let Some(path) = path else { return };
+    match stgraph_serve::save_model(path, params) {
+        Ok(()) => println!("saved checkpoint to {path}"),
+        Err(e) => {
+            eprintln!("failed to save checkpoint to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let dataset = args
@@ -136,6 +150,7 @@ fn main() {
     let seq_len = get(&args, "seq_len", 10usize);
     let lr = get(&args, "lr", 0.01f32);
     let seed = get(&args, "seed", 42u64);
+    let save_path = args.get("save").cloned();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
     println!(
@@ -165,6 +180,7 @@ fn main() {
             let cell = make_cell(&model, &mut params, features, hidden, &mut rng);
             let regressor = NodeRegressor::new(&mut params, cell, 1, &mut rng);
             println!("parameters: {}", params.numel());
+            let trained = params.clone();
             let mut opt = Adam::new(params, lr);
             let start = std::time::Instant::now();
             for epoch in 1..=epochs {
@@ -182,6 +198,7 @@ fn main() {
                 "trained {epochs} epochs in {:.2}s",
                 start.elapsed().as_secs_f32()
             );
+            save_if_requested(&trained, save_path.as_deref());
         }
         "link" => {
             assert_eq!(
@@ -215,6 +232,7 @@ fn main() {
             let mut params = ParamSet::new();
             let cell = make_cell(&model, &mut params, features, hidden, &mut rng);
             println!("parameters: {}", params.numel());
+            let trained = params.clone();
             let mut opt = Adam::new(params, lr);
             let feats = Tensor::rand_uniform((src.num_nodes, features), -1.0, 1.0, &mut rng);
             let batches = link_prediction_batches(&src, 512, seed);
@@ -229,6 +247,7 @@ fn main() {
                 "trained {epochs} epochs in {:.2}s — eval BCE {loss:.4}, ROC-AUC {auc:.4}, accuracy {acc:.4}",
                 start.elapsed().as_secs_f32()
             );
+            save_if_requested(&trained, save_path.as_deref());
         }
         _ => unreachable!(),
     }

@@ -9,7 +9,7 @@ use std::rc::Rc;
 use stgraph_graph::base::{gcn_norm, Snapshot};
 use stgraph_seastar::ir::{gat_aggregation, gcn_aggregation, Program, ProgramBuilder};
 use stgraph_tensor::nn::{Linear, ParamSet};
-use stgraph_tensor::{Tape, Tensor, Var};
+use stgraph_tensor::{Param, StateDict, Tape, Tensor, Var};
 
 /// Per-snapshot GCN degree norms as an `[n, 1]` tensor.
 pub fn norm_tensor(snap: &Snapshot) -> Tensor {
@@ -97,6 +97,12 @@ impl GcnConv {
     }
 }
 
+impl StateDict for GcnConv {
+    fn parameters(&self) -> Vec<Param> {
+        self.linear.parameters()
+    }
+}
+
 /// Single-head graph attention (Veličković et al.): attention coefficients
 /// from `leaky_relu(a_l·h_u + a_r·h_v)`, edge-softmax per destination,
 /// weighted in-neighbour sum. The edge softmax is the op Seastar motivates
@@ -162,6 +168,15 @@ impl GatConv {
     }
 }
 
+impl StateDict for GatConv {
+    fn parameters(&self) -> Vec<Param> {
+        let mut out = self.weight.parameters();
+        out.extend(self.attn_l.parameters());
+        out.extend(self.attn_r.parameters());
+        out
+    }
+}
+
 /// Multi-head graph attention: `heads` independent [`GatConv`]s with their
 /// outputs concatenated (the standard GAT multi-head form).
 pub struct MultiHeadGatConv {
@@ -214,6 +229,12 @@ impl MultiHeadGatConv {
             .collect();
         let refs: Vec<&Var<'t>> = outs.iter().collect();
         Var::concat_cols(&refs)
+    }
+}
+
+impl StateDict for MultiHeadGatConv {
+    fn parameters(&self) -> Vec<Param> {
+        self.heads.iter().flat_map(|h| h.parameters()).collect()
     }
 }
 
@@ -313,6 +334,12 @@ impl ChebConv {
             t_cur = t_next;
         }
         out
+    }
+}
+
+impl StateDict for ChebConv {
+    fn parameters(&self) -> Vec<Param> {
+        self.weights.iter().flat_map(|w| w.parameters()).collect()
     }
 }
 

@@ -6,7 +6,7 @@ use crate::executor::TemporalExecutor;
 use crate::layers::{ChebConv, GcnConv};
 use rand::Rng;
 use stgraph_tensor::nn::{Linear, ParamSet};
-use stgraph_tensor::{Tape, Tensor, Var};
+use stgraph_tensor::{Param, StateDict, Tape, Tensor, Var};
 
 /// A recurrent graph cell: consumes `(x_t, h_{t-1})`, produces `h_t`.
 pub trait RecurrentCell {
@@ -115,6 +115,19 @@ impl Tgcn {
     }
 }
 
+impl StateDict for Tgcn {
+    fn parameters(&self) -> Vec<Param> {
+        let mut out = Vec::new();
+        out.extend(self.conv_z.parameters());
+        out.extend(self.conv_r.parameters());
+        out.extend(self.conv_h.parameters());
+        out.extend(self.lin_z.parameters());
+        out.extend(self.lin_r.parameters());
+        out.extend(self.lin_h.parameters());
+        out
+    }
+}
+
 impl RecurrentCell for Tgcn {
     fn hidden_size(&self) -> usize {
         self.hidden
@@ -184,6 +197,15 @@ impl GConvGru {
             hh: mk(params, "hh", hidden, rng),
             hidden,
         }
+    }
+}
+
+impl StateDict for GConvGru {
+    fn parameters(&self) -> Vec<Param> {
+        [&self.xz, &self.hz, &self.xr, &self.hr, &self.xh, &self.hh]
+            .iter()
+            .flat_map(|c| c.parameters())
+            .collect()
     }
 }
 
@@ -261,6 +283,17 @@ impl GConvLstm {
             ho: mk(params, "ho", hidden, rng),
             hidden,
         }
+    }
+}
+
+impl StateDict for GConvLstm {
+    fn parameters(&self) -> Vec<Param> {
+        [
+            &self.xi, &self.hi, &self.xf, &self.hf, &self.xc, &self.hc, &self.xo, &self.ho,
+        ]
+        .iter()
+        .flat_map(|c| c.parameters())
+        .collect()
     }
 }
 
@@ -392,6 +425,14 @@ impl A3Tgcn {
         // Divide by the softmax normaliser: out / s.
         let inv = recip_scalar(&s);
         scale_by_scalar(&out.unwrap(), &inv)
+    }
+}
+
+impl StateDict for A3Tgcn {
+    fn parameters(&self) -> Vec<Param> {
+        let mut out = self.cell.parameters();
+        out.push(self.attention.clone());
+        out
     }
 }
 

@@ -17,7 +17,7 @@ use std::rc::Rc;
 use stgraph_graph::base::Snapshot;
 use stgraph_seastar::ir::{Program, ProgramBuilder};
 use stgraph_tensor::nn::{Linear, ParamSet};
-use stgraph_tensor::{Param, Tape, Tensor, Var};
+use stgraph_tensor::{Param, StateDict, Tape, Tensor, Var};
 
 /// Vertex program for one *forward* random-walk step `D_O^{-1} A · X`:
 /// `out_v = (1/out_deg(v)) Σ_{v→u} x_u` — an out-neighbour mean, executed
@@ -153,6 +153,15 @@ impl DConv {
     }
 }
 
+impl StateDict for DConv {
+    fn parameters(&self) -> Vec<Param> {
+        let mut out = self.w0.parameters();
+        out.extend(self.w_out.iter().flat_map(|w| w.parameters()));
+        out.extend(self.w_in.iter().flat_map(|w| w.parameters()));
+        out
+    }
+}
+
 /// DCRNN cell: a GRU whose gates are diffusion convolutions over `[X ‖ H]`.
 pub struct Dcrnn {
     conv_z: DConv,
@@ -185,6 +194,15 @@ impl Dcrnn {
     /// Input feature width.
     pub fn in_features(&self) -> usize {
         self.in_features
+    }
+}
+
+impl StateDict for Dcrnn {
+    fn parameters(&self) -> Vec<Param> {
+        let mut out = self.conv_z.parameters();
+        out.extend(self.conv_r.parameters());
+        out.extend(self.conv_h.parameters());
+        out
     }
 }
 
@@ -328,6 +346,26 @@ impl EvolveGcnO {
             outs.push(exec.apply(tape, &self.agg, t, &[&h], vec![norm], vec![]));
         }
         outs
+    }
+}
+
+impl StateDict for EvolveGcnO {
+    fn parameters(&self) -> Vec<Param> {
+        vec![
+            self.w0.clone(),
+            self.u_i.clone(),
+            self.v_i.clone(),
+            self.b_i.clone(),
+            self.u_f.clone(),
+            self.v_f.clone(),
+            self.b_f.clone(),
+            self.u_c.clone(),
+            self.v_c.clone(),
+            self.b_c.clone(),
+            self.u_o.clone(),
+            self.v_o.clone(),
+            self.b_o.clone(),
+        ]
     }
 }
 

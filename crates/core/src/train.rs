@@ -16,7 +16,7 @@ use std::rc::Rc;
 use stgraph_dyngraph::DtdgSource;
 use stgraph_tensor::nn::{Linear, ParamSet};
 use stgraph_tensor::optim::Adam;
-use stgraph_tensor::{Tape, Tensor, Var};
+use stgraph_tensor::{Param, StateDict, Tape, Tensor, Var};
 
 /// A recurrent cell plus a readout head for per-node regression — the
 /// "RecurrentGCN" pattern of PyG-T's examples (`h = cell(x); relu; linear`).
@@ -50,6 +50,14 @@ impl<C: RecurrentCell> NodeRegressor<C> {
         let h_new = self.cell.step(tape, exec, t, x, h);
         let pred = self.readout.forward(tape, &h_new.relu());
         (pred, h_new)
+    }
+}
+
+impl<C: RecurrentCell + StateDict> StateDict for NodeRegressor<C> {
+    fn parameters(&self) -> Vec<Param> {
+        let mut out = self.cell.parameters();
+        out.extend(self.readout.parameters());
+        out
     }
 }
 

@@ -1,0 +1,265 @@
+//! `serve` — load an `.stgc` checkpoint, replay a dataset's update stream
+//! through the live graph, and answer node-embedding queries through the
+//! micro-batching engine.
+//!
+//! ```text
+//! cargo run --release -p stgraph-bench --bin train -- \
+//!     --dataset MO --epochs 5 --save model.stgc
+//! cargo run --release -p stgraph-serve --bin serve -- \
+//!     --load model.stgc --dataset MO --queries 1000 --verify
+//! ```
+//!
+//! `--verify` recomputes every generation's recurrent step directly (no
+//! queue, no batching) from a second copy of the checkpoint and requires
+//! every served value to be bit-identical.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use stgraph::tgnn::{GConvGru, GConvLstm, RecurrentCell, Tgcn};
+use stgraph::tgnn_ext::Dcrnn;
+use stgraph_datasets::{info, load_dynamic, GraphKind};
+use stgraph_dyngraph::DtdgSource;
+use stgraph_serve::engine::{InferenceEngine, RequestQueue, ServeConfig, Ticket};
+use stgraph_serve::ingest::LiveGraph;
+use stgraph_serve::{load_into, CheckpointError};
+use stgraph_tensor::nn::ParamSet;
+use stgraph_tensor::Tensor;
+
+const HELP: &str = "stgraph-serve — serve a trained TGNN over a live update stream
+
+Options:
+  --load <path>           .stgc checkpoint to serve (required)
+  --dataset <name|code>   dynamic dataset for the update stream (default MO)
+  --model <tgcn|gconvgru|gconvlstm|dcrnn>   cell architecture (default tgcn)
+  --features <n>          feature size, must match training (default 8)
+  --hidden <n>            hidden width, must match training (default 32)
+  --timestamps <n>        stream length in generations (default 20)
+  --pct-change <f>        snapshot churn percent (default 5)
+  --scale <n>             dataset size divisor (default 64)
+  --queries <n>           total queries across the stream (default 1000)
+  --max-batch <n>         micro-batch cap (default 256 / STGRAPH_SERVE_MAX_BATCH)
+  --flush-us <n>          batch linger in microseconds (default 2000 / STGRAPH_SERVE_FLUSH_US)
+  --queue-cap <n>         request queue bound (default 1024 / STGRAPH_SERVE_QUEUE_CAP)
+  --seed <n>              RNG seed, must match training (default 42)
+  --verify                check served values bitwise against a direct replay
+  --help                  this text";
+
+fn parse_args() -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(key) = args.next() {
+        if key == "--help" || key == "-h" {
+            println!("{HELP}");
+            std::process::exit(0);
+        }
+        let Some(name) = key.strip_prefix("--") else {
+            eprintln!("unexpected argument '{key}' (try --help)");
+            std::process::exit(2);
+        };
+        if name == "verify" {
+            out.insert("verify".to_string(), "1".to_string());
+            continue;
+        }
+        let Some(value) = args.next() else {
+            eprintln!("missing value for --{name}");
+            std::process::exit(2);
+        };
+        out.insert(name.replace('-', "_"), value);
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default: T) -> T {
+    match args.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{key}: '{v}'");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn make_cell(
+    model: &str,
+    params: &mut ParamSet,
+    features: usize,
+    hidden: usize,
+    rng: &mut ChaCha8Rng,
+) -> Box<dyn RecurrentCell> {
+    match model {
+        "tgcn" => Box::new(Tgcn::new(params, "cell", features, hidden, rng)),
+        "gconvgru" => Box::new(GConvGru::new(params, "cell", features, hidden, 2, rng)),
+        "gconvlstm" => Box::new(GConvLstm::new(params, "cell", features, hidden, 2, rng)),
+        "dcrnn" => Box::new(Dcrnn::new(params, "cell", features, hidden, 2, rng)),
+        other => {
+            eprintln!("unknown model '{other}' (try --help)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Builds `(cell, features)` with the training binary's exact RNG draw
+/// order, then overwrites the parameters from the checkpoint.
+fn load_model(
+    path: &str,
+    model: &str,
+    features: usize,
+    hidden: usize,
+    num_nodes: usize,
+    seed: u64,
+) -> Result<(Box<dyn RecurrentCell>, Tensor), CheckpointError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut params = ParamSet::new();
+    let cell = make_cell(model, &mut params, features, hidden, &mut rng);
+    let feats = Tensor::rand_uniform((num_nodes, features), -1.0, 1.0, &mut rng);
+    load_into(path, &params)?;
+    Ok((cell, feats))
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(load_path) = args.get("load").cloned() else {
+        eprintln!("--load <path> is required (try --help)");
+        std::process::exit(2);
+    };
+    let dataset = args
+        .get("dataset")
+        .map(String::as_str)
+        .unwrap_or("MO")
+        .to_string();
+    let meta = info(&dataset);
+    assert_eq!(
+        meta.kind,
+        GraphKind::Dynamic,
+        "serve needs a dynamic dataset"
+    );
+    let model = args
+        .get("model")
+        .map(String::as_str)
+        .unwrap_or("tgcn")
+        .to_string();
+    let features = get(&args, "features", 8usize);
+    let hidden = get(&args, "hidden", 32usize);
+    let max_t = get(&args, "timestamps", 20usize);
+    let pct = get(&args, "pct_change", 5.0f64);
+    let scale = get(&args, "scale", 64usize);
+    let total_queries = get(&args, "queries", 1000usize);
+    let seed = get(&args, "seed", 42u64);
+    let verify = args.contains_key("verify");
+
+    let mut config = ServeConfig::from_env();
+    config.max_batch = get(&args, "max_batch", config.max_batch).max(1);
+    config.flush_interval = std::time::Duration::from_micros(get(
+        &args,
+        "flush_us",
+        config.flush_interval.as_micros() as u64,
+    ));
+    config.queue_capacity = get(&args, "queue_cap", config.queue_capacity).max(1);
+
+    let raw = load_dynamic(meta.name, scale);
+    let mut src = DtdgSource::from_temporal_edges(raw.num_nodes, &raw.edges, pct);
+    src.snapshots.truncate(max_t);
+    let generations = src.num_timestamps();
+    println!(
+        "stream: {} ({} nodes, {generations} generations, mean churn {:.1}%)",
+        meta.name,
+        src.num_nodes,
+        src.mean_pct_change()
+    );
+
+    let (cell, feats) = match load_model(&load_path, &model, features, hidden, src.num_nodes, seed)
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("failed to load '{load_path}': {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("model: {model} (features {features}, hidden {hidden}) from {load_path}");
+
+    let live = LiveGraph::from_source(&src);
+    let mut engine = InferenceEngine::new(cell, feats.clone(), live, "seastar");
+    let queue = RequestQueue::new(config.queue_capacity);
+    let per_gen = total_queries.div_ceil(generations);
+    let diffs = src.diffs();
+
+    let start = std::time::Instant::now();
+    let responses = std::thread::scope(|scope| {
+        let producer = scope.spawn(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5e57e);
+            let mut responses = Vec::new();
+            #[allow(clippy::needless_range_loop)] // g is a generation, not just an index
+            for g in 0..generations {
+                let tickets: Vec<Ticket> = (0..per_gen)
+                    .map(|_| queue.submit(rng.gen_range(0..src.num_nodes as u32)))
+                    .collect();
+                responses.extend(tickets.into_iter().map(Ticket::wait));
+                if g < generations - 1 {
+                    queue.advance(diffs[g].clone());
+                }
+            }
+            queue.close();
+            responses
+        });
+        engine.run(&queue, &config);
+        producer.join().unwrap()
+    });
+    let elapsed = start.elapsed();
+
+    let report = engine.report(elapsed);
+    print!("{report}");
+
+    if verify {
+        let (direct_cell, direct_feats) =
+            load_model(&load_path, &model, features, hidden, src.num_nodes, seed)
+                .expect("checkpoint reloaded for verification");
+        let expected = direct_chain(&src, &direct_feats, direct_cell.as_ref());
+        let mut mismatches = 0usize;
+        for resp in &responses {
+            let want = &expected[resp.generation as usize];
+            for (j, v) in resp.values.iter().enumerate() {
+                if v.to_bits() != want.at(resp.node as usize, j).to_bits() {
+                    mismatches += 1;
+                }
+            }
+        }
+        if mismatches == 0 {
+            println!(
+                "verify: OK — {} responses bit-identical to direct replay",
+                responses.len()
+            );
+        } else {
+            eprintln!("verify: FAILED — {mismatches} value mismatches");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The no-batching oracle: one recurrent step per generation, hidden
+/// carried, computed on the same snapshot chain the engine saw.
+fn direct_chain(src: &DtdgSource, feats: &Tensor, cell: &dyn RecurrentCell) -> Vec<Tensor> {
+    use stgraph::backend::create_backend;
+    use stgraph::executor::{GraphSource, TemporalExecutor};
+    use stgraph_tensor::Tape;
+
+    let mut live = LiveGraph::from_source(src);
+    let diffs = src.diffs();
+    let mut hidden: Option<Tensor> = None;
+    let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)] // g is a generation, not just an index
+    for g in 0..src.num_timestamps() {
+        let (_, snap) = live.snapshot();
+        let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+        let tape = Tape::new();
+        let x = tape.constant(feats.clone());
+        let h = hidden.clone().map(|t| tape.constant(t));
+        let new = cell.step(&tape, &exec, 0, &x, h.as_ref());
+        hidden = Some(new.value().clone());
+        out.push(new.value().clone());
+        if g + 1 < src.num_timestamps() {
+            live.apply(&diffs[g]);
+        }
+    }
+    out
+}

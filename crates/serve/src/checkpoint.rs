@@ -1,0 +1,410 @@
+//! The `.stgc` checkpoint format: a versioned binary container for named
+//! f32 tensors, integrity-protected by a trailing CRC-32.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "STGC"
+//! 4       4     format version (u32, currently 1)
+//! 8       4     tensor count (u32)
+//! 12      ...   tensor records
+//! end-4   4     CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! Each tensor record is:
+//!
+//! ```text
+//! u32            name length in bytes
+//! [u8]           UTF-8 name
+//! u8             rank (0, 1 or 2)
+//! rank × u32     dimensions
+//! numel × f32    row-major data
+//! ```
+//!
+//! Every failure mode is a typed [`CheckpointError`] — a corrupted or
+//! wrong-version file never panics the loader.
+
+use std::io::Write;
+use std::path::Path;
+use stgraph_tensor::{Shape, StateDict, StateDictError, StateEntry};
+
+/// File magic: the first four bytes of every `.stgc` file.
+pub const MAGIC: [u8; 4] = *b"STGC";
+
+/// Current format version written by [`save_checkpoint`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything that can go wrong saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the `.stgc` magic.
+    BadMagic([u8; 4]),
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file ended before the structure it declares was complete.
+    Truncated {
+        /// What the parser was reading when bytes ran out.
+        reading: &'static str,
+    },
+    /// The trailing CRC-32 does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file footer.
+        stored: u32,
+        /// Checksum computed over the file contents.
+        computed: u32,
+    },
+    /// Structurally invalid content (bad UTF-8 name, rank > 2, ...).
+    Malformed(String),
+    /// The checkpoint parsed, but does not fit the target model.
+    State(StateDictError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic(m) => {
+                write!(f, "not a .stgc checkpoint (magic {m:02x?})")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (reader supports {FORMAT_VERSION})"
+                )
+            }
+            CheckpointError::Truncated { reading } => {
+                write!(f, "checkpoint truncated while reading {reading}")
+            }
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint corrupted: stored CRC {stored:08x}, computed {computed:08x}"
+            ),
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::State(e) => write!(f, "checkpoint does not fit model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<StateDictError> for CheckpointError {
+    fn from(e: StateDictError) -> CheckpointError {
+        CheckpointError::State(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip and PNG use, implemented here to stay dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn shape_dims(shape: Shape) -> Vec<u32> {
+    match shape {
+        Shape::Scalar => vec![],
+        Shape::Vec(n) => vec![n as u32],
+        Shape::Mat(r, c) => vec![r as u32, c as u32],
+    }
+}
+
+fn dims_shape(dims: &[u32]) -> Shape {
+    match dims {
+        [] => Shape::Scalar,
+        [n] => Shape::Vec(*n as usize),
+        [r, c] => Shape::Mat(*r as usize, *c as usize),
+        _ => unreachable!("rank validated by the parser"),
+    }
+}
+
+/// Serialises `entries` into the `.stgc` byte layout (header + records +
+/// CRC footer).
+pub fn encode(entries: &[StateEntry]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, shape, data) in entries {
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "entry '{name}' data length vs shape"
+        );
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        let dims = shape_dims(*shape);
+        buf.push(dims.len() as u8);
+        for d in dims {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        for v in data {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// A bounds-checked little-endian reader over the checkpoint body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, reading: &'static str) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Truncated { reading });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, reading: &'static str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, reading)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u8(&mut self, reading: &'static str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, reading)?[0])
+    }
+}
+
+/// Parses `.stgc` bytes back into state entries, validating magic, version
+/// and checksum before touching the records.
+pub fn decode(bytes: &[u8]) -> Result<Vec<StateEntry>, CheckpointError> {
+    if bytes.len() < 4 {
+        return Err(CheckpointError::Truncated { reading: "magic" });
+    }
+    let magic = [bytes[0], bytes[1], bytes[2], bytes[3]];
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    if bytes.len() < 12 + 4 {
+        return Err(CheckpointError::Truncated { reading: "header" });
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = Reader { buf: body, pos: 8 };
+    let count = r.u32("tensor count")? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = r.u32("name length")? as usize;
+        let name_bytes = r.take(name_len, "name")?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| CheckpointError::Malformed("tensor name is not UTF-8".into()))?
+            .to_string();
+        let rank = r.u8("rank")?;
+        if rank > 2 {
+            return Err(CheckpointError::Malformed(format!(
+                "tensor '{name}' has rank {rank} (max 2)"
+            )));
+        }
+        let mut dims = Vec::with_capacity(rank as usize);
+        for _ in 0..rank {
+            dims.push(r.u32("dimension")?);
+        }
+        let shape = dims_shape(&dims);
+        let numel = shape.numel();
+        let raw = r.take(numel * 4, "tensor data")?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        out.push((name, shape, data));
+    }
+    if r.pos != body.len() {
+        return Err(CheckpointError::Malformed(format!(
+            "{} trailing bytes after last tensor",
+            body.len() - r.pos
+        )));
+    }
+    Ok(out)
+}
+
+/// Writes `entries` to `path` as a `.stgc` checkpoint. The file is written
+/// to a temporary sibling and renamed into place so a crash mid-write never
+/// leaves a half-written checkpoint at `path`.
+pub fn save_checkpoint(
+    path: impl AsRef<Path>,
+    entries: &[StateEntry],
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let bytes = encode(entries);
+    let tmp = path.with_extension("stgc.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and validates a `.stgc` checkpoint from `path`.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<Vec<StateEntry>, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes)
+}
+
+/// Saves a model's parameters (anything implementing [`StateDict`]).
+pub fn save_model<M: StateDict + ?Sized>(
+    path: impl AsRef<Path>,
+    model: &M,
+) -> Result<(), CheckpointError> {
+    save_checkpoint(path, &model.to_state_dict())
+}
+
+/// Loads a checkpoint from `path` into `model` by parameter name. The model
+/// is untouched if the file is invalid or does not fit.
+pub fn load_into<M: StateDict + ?Sized>(
+    path: impl AsRef<Path>,
+    model: &M,
+) -> Result<(), CheckpointError> {
+    let entries = load_checkpoint(path)?;
+    model.try_load_state_dict(&entries)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<StateEntry> {
+        vec![
+            (
+                "a.weight".into(),
+                Shape::Mat(2, 3),
+                vec![1.0, -2.5, 0.0, 3.25, f32::MIN_POSITIVE, -0.0],
+            ),
+            ("a.bias".into(), Shape::Vec(3), vec![0.5, 1.5, -9.75]),
+            ("s".into(), Shape::Scalar, vec![42.0]),
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_bit_identical() {
+        let e = entries();
+        let bytes = encode(&e);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(e.len(), back.len());
+        for ((n1, s1, d1), (n2, s2, d2)) in e.iter().zip(&back) {
+            assert_eq!(n1, n2);
+            assert_eq!(s1, s2);
+            // Bit-level comparison: -0.0 and subnormals must survive.
+            let bits1: Vec<u32> = d1.iter().map(|v| v.to_bits()).collect();
+            let bits2: Vec<u32> = d2.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits1, bits2);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = encode(&entries());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(CheckpointError::BadMagic(_))));
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut bytes = encode(&entries());
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corruption_is_caught_by_checksum() {
+        let mut bytes = encode(&entries());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode(&bytes),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = encode(&entries());
+        for cut in [2, 6, 13] {
+            assert!(
+                matches!(
+                    decode(&bytes[..cut]),
+                    Err(CheckpointError::Truncated { .. })
+                        | Err(CheckpointError::ChecksumMismatch { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("stgc-test-{}.stgc", std::process::id()));
+        save_checkpoint(&path, &entries()).unwrap();
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back, entries());
+        std::fs::remove_file(&path).ok();
+    }
+}

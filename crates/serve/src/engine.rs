@@ -1,0 +1,541 @@
+//! The micro-batching inference engine.
+//!
+//! Models built on [`stgraph_tensor::Param`] are reference-counted and not
+//! `Send`, so the model lives on exactly one *engine thread*. The
+//! [`RequestQueue`] is the `Send` boundary: any number of producer threads
+//! submit node-level queries (and stream advance events) and block on
+//! [`Ticket`]s; the engine drains the queue, coalesces pending queries into
+//! one batched forward pass per graph generation, and fills the response
+//! slots — with rayon parallelism inside the tensor kernels and across the
+//! per-slot copies.
+//!
+//! The hidden-state chain is pinned to generations: exactly one recurrent
+//! step runs per generation (even if no queries arrive during it), so the
+//! embeddings served at generation `g` are bit-identical to a direct replay
+//! `h_g = cell(x, A_g, h_{g-1})` — the property the `serve --verify` flag
+//! checks end to end.
+
+use crate::ingest::LiveGraph;
+use crate::stats::{LatencyRecorder, ServeReport};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use stgraph::backend::create_backend;
+use stgraph::executor::{GraphSource, TemporalExecutor};
+use stgraph::tgnn::RecurrentCell;
+use stgraph_dyngraph::source::UpdateBatch;
+use stgraph_tensor::{Tape, Tensor};
+
+/// Engine knobs. Each field has an environment override so deployments can
+/// tune without rebuilding: `STGRAPH_SERVE_MAX_BATCH`,
+/// `STGRAPH_SERVE_FLUSH_US`, `STGRAPH_SERVE_QUEUE_CAP`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Most queries coalesced into one batched forward (default 256).
+    pub max_batch: usize,
+    /// How long the engine lingers for stragglers after the first query of
+    /// a batch arrives (default 2 ms).
+    pub flush_interval: Duration,
+    /// Bounded queue depth; producers block when full (default 1024).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_batch: 256,
+            flush_interval: Duration::from_millis(2),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default config with any `STGRAPH_SERVE_*` overrides applied.
+    pub fn from_env() -> ServeConfig {
+        fn read<T: std::str::FromStr>(key: &str, default: T) -> T {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let d = ServeConfig::default();
+        ServeConfig {
+            max_batch: read("STGRAPH_SERVE_MAX_BATCH", d.max_batch).max(1),
+            flush_interval: Duration::from_micros(read(
+                "STGRAPH_SERVE_FLUSH_US",
+                d.flush_interval.as_micros() as u64,
+            )),
+            queue_capacity: read("STGRAPH_SERVE_QUEUE_CAP", d.queue_capacity).max(1),
+        }
+    }
+}
+
+/// The answer to one node query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The queried node.
+    pub node: u32,
+    /// The node's embedding row (hidden width) at `generation`.
+    pub values: Vec<f32>,
+    /// Graph generation the answer was computed at.
+    pub generation: u64,
+    /// Submit-to-answer latency (includes queueing).
+    pub latency: Duration,
+}
+
+#[derive(Default)]
+pub(crate) struct Slot {
+    inner: Mutex<Option<QueryResponse>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, resp: QueryResponse) {
+        *self.inner.lock().unwrap() = Some(resp);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on a future [`QueryResponse`], returned by
+/// [`RequestQueue::submit`].
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the engine answers this query.
+    pub fn wait(self) -> QueryResponse {
+        let mut guard = self.slot.inner.lock().unwrap();
+        loop {
+            if let Some(resp) = guard.take() {
+                return resp;
+            }
+            guard = self.slot.ready.wait(guard).unwrap();
+        }
+    }
+}
+
+type PendingQuery = (u32, Arc<Slot>, Instant);
+
+enum WorkItem {
+    Query(PendingQuery),
+    Advance(UpdateBatch),
+}
+
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    closed: bool,
+}
+
+/// The bounded MPSC work queue between producer threads and the engine.
+/// Items preserve submission order, so an [`RequestQueue::advance`] event
+/// acts as a batch boundary: queries before it are answered at the old
+/// generation, queries after it at the new one.
+pub struct RequestQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+pub(crate) struct Drained {
+    pub(crate) queries: Vec<PendingQuery>,
+    pub(crate) advance: Option<UpdateBatch>,
+    pub(crate) closed: bool,
+}
+
+impl RequestQueue {
+    /// A queue holding at most `capacity` in-flight items.
+    pub fn new(capacity: usize) -> RequestQueue {
+        RequestQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        let mut st = self.state.lock().unwrap();
+        while st.items.len() >= self.capacity && !st.closed {
+            st = self.not_full.wait(st).unwrap();
+        }
+        assert!(!st.closed, "submit on a closed RequestQueue");
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// Enqueues a node query; blocks while the queue is full. Latency is
+    /// measured from this call, so queueing delay counts.
+    pub fn submit(&self, node: u32) -> Ticket {
+        let submitted = Instant::now();
+        let slot = Arc::new(Slot::default());
+        self.push(WorkItem::Query((node, Arc::clone(&slot), submitted)));
+        Ticket { slot }
+    }
+
+    /// Enqueues a stream advance: the engine applies the batch to its live
+    /// graph after answering everything submitted before this call.
+    pub fn advance(&self, batch: UpdateBatch) {
+        self.push(WorkItem::Advance(batch));
+    }
+
+    /// Marks the stream finished; the engine exits once the queue drains.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Engine side: blocks for the first item, then lingers up to `flush`
+    /// (or until `max` queries) coalescing stragglers. Stops early at an
+    /// advance event so generations never mix within a batch.
+    pub(crate) fn drain(&self, max: usize, flush: Duration) -> Drained {
+        let mut st = self.state.lock().unwrap();
+        while st.items.is_empty() && !st.closed {
+            st = self.not_empty.wait(st).unwrap();
+        }
+        let mut queries = Vec::new();
+        let mut advance = None;
+        if !st.items.is_empty() {
+            let deadline = Instant::now() + flush;
+            loop {
+                while queries.len() < max && advance.is_none() {
+                    match st.items.pop_front() {
+                        Some(WorkItem::Query(q)) => queries.push(q),
+                        Some(WorkItem::Advance(b)) => advance = Some(b),
+                        None => break,
+                    }
+                }
+                if queries.len() >= max || advance.is_some() || st.closed {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+                if timeout.timed_out() && st.items.is_empty() {
+                    break;
+                }
+            }
+        }
+        let closed = st.closed && st.items.is_empty();
+        drop(st);
+        self.not_full.notify_all();
+        Drained {
+            queries,
+            advance,
+            closed,
+        }
+    }
+}
+
+/// The single-threaded owner of model + live graph that answers batched
+/// queries. Construct it, then call [`InferenceEngine::run`] on the thread
+/// that owns it while producers feed the [`RequestQueue`].
+pub struct InferenceEngine {
+    cell: Box<dyn RecurrentCell>,
+    features: Tensor,
+    backend: String,
+    live: LiveGraph,
+    /// Carried hidden state `h_{g}` after the generation-`g` step.
+    hidden: Option<Tensor>,
+    /// Memoised `(generation, embeddings)` of the last forward.
+    embeddings: Option<(u64, Tensor)>,
+    latencies: LatencyRecorder,
+    queries: u64,
+    batches: u64,
+    forwards: u64,
+}
+
+impl InferenceEngine {
+    /// A new engine serving `cell` over `live` with node features
+    /// `features` (`[num_nodes, in_features]`).
+    pub fn new(
+        cell: Box<dyn RecurrentCell>,
+        features: Tensor,
+        live: LiveGraph,
+        backend: &str,
+    ) -> InferenceEngine {
+        assert_eq!(
+            features.rows(),
+            live.num_nodes(),
+            "feature rows must match the live graph's node count"
+        );
+        InferenceEngine {
+            cell,
+            features,
+            backend: backend.to_string(),
+            live,
+            hidden: None,
+            embeddings: None,
+            latencies: LatencyRecorder::new(),
+            queries: 0,
+            batches: 0,
+            forwards: 0,
+        }
+    }
+
+    /// The live graph (read access for callers/tests).
+    pub fn live(&self) -> &LiveGraph {
+        &self.live
+    }
+
+    /// Runs one recurrent step for the current generation unless its
+    /// embeddings are already memoised. Returns `(generation, embeddings)`.
+    fn ensure_forward(&mut self) -> (u64, Tensor) {
+        let generation = self.live.generation();
+        if let Some((g, emb)) = &self.embeddings {
+            if *g == generation {
+                return (*g, emb.clone());
+            }
+        }
+        let (g, snap) = self.live.snapshot();
+        let exec = TemporalExecutor::new(create_backend(&self.backend), GraphSource::Static(snap));
+        let tape = Tape::new();
+        let x = tape.constant(self.features.clone());
+        let h_prev = self.hidden.clone().map(|t| tape.constant(t));
+        let h = self.cell.step(&tape, &exec, 0, &x, h_prev.as_ref());
+        let emb = h.value().clone();
+        // Inference only: the executor (and its stacks) drop here; no
+        // backward pass ever runs, so nothing accumulates across steps.
+        self.hidden = Some(emb.clone());
+        self.embeddings = Some((g, emb.clone()));
+        self.forwards += 1;
+        (g, emb)
+    }
+
+    /// Answers one coalesced micro-batch with a single gather over the
+    /// generation's embeddings, filling response slots in parallel.
+    fn answer(&mut self, batch: Vec<PendingQuery>) {
+        let (generation, emb) = self.ensure_forward();
+        let idx: Vec<u32> = batch.iter().map(|(n, _, _)| *n).collect();
+        let rows = emb.gather_rows(&idx);
+        let width = self.cell.hidden_size();
+        let data = rows.data();
+        let done = Instant::now();
+        batch
+            .par_iter()
+            .enumerate()
+            .for_each(|(i, (node, slot, submitted))| {
+                slot.fill(QueryResponse {
+                    node: *node,
+                    values: data[i * width..(i + 1) * width].to_vec(),
+                    generation,
+                    latency: done.saturating_duration_since(*submitted),
+                });
+            });
+        for (_, _, submitted) in &batch {
+            self.latencies
+                .record(done.saturating_duration_since(*submitted));
+        }
+        self.queries += batch.len() as u64;
+        self.batches += 1;
+    }
+
+    /// Serves until the queue is closed and drained. Each advance event
+    /// first pins the outgoing generation's recurrent step (so the hidden
+    /// chain covers every generation, queried or not), then applies the
+    /// update batch.
+    pub fn run(&mut self, queue: &RequestQueue, config: &ServeConfig) {
+        loop {
+            let drained = queue.drain(config.max_batch, config.flush_interval);
+            if !drained.queries.is_empty() {
+                self.answer(drained.queries);
+            }
+            if let Some(batch) = drained.advance {
+                self.ensure_forward();
+                self.live.apply(&batch);
+            }
+            if drained.closed {
+                break;
+            }
+        }
+    }
+
+    /// The run's report (percentiles, throughput, ingest + pool + mem).
+    pub fn report(&mut self, elapsed: Duration) -> ServeReport {
+        ServeReport {
+            queries: self.queries,
+            batches: self.batches,
+            forwards: self.forwards,
+            generation: self.live.generation(),
+            p50: self.latencies.percentile(50.0),
+            p95: self.latencies.percentile(95.0),
+            p99: self.latencies.percentile(99.0),
+            mean: self.latencies.mean(),
+            elapsed,
+            ingest: self.live.stats(),
+            pool: stgraph_tensor::pool::stats(),
+            mem: stgraph_tensor::mem::all_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use stgraph::tgnn::Tgcn;
+    use stgraph_dyngraph::source::DtdgSource;
+    use stgraph_tensor::nn::ParamSet;
+
+    fn setup() -> (DtdgSource, Tensor, ParamSet, Tgcn) {
+        let src = DtdgSource::from_snapshot_edges(
+            6,
+            vec![
+                vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+                vec![(0, 1), (2, 3), (3, 4), (4, 5), (5, 0)],
+                vec![(0, 1), (3, 4), (4, 5), (5, 0), (1, 4)],
+            ],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ps = ParamSet::new();
+        let cell = Tgcn::new(&mut ps, "cell", 3, 4, &mut rng);
+        let x = Tensor::rand_uniform((6, 3), -1.0, 1.0, &mut rng);
+        (src, x, ps, cell)
+    }
+
+    /// Direct replay oracle: `h_g = cell(x, A_g, h_{g-1})` for every
+    /// generation, no queue or batching involved.
+    fn direct_chain(src: &DtdgSource, x: &Tensor, cell: &Tgcn) -> Vec<Tensor> {
+        let mut live = LiveGraph::from_source(src);
+        let mut h: Option<Tensor> = None;
+        let mut out = Vec::new();
+        for g in 0..src.num_timestamps() {
+            let (_, snap) = live.snapshot();
+            let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let hv = h.clone().map(|t| tape.constant(t));
+            let new = cell.step(&tape, &exec, 0, &xv, hv.as_ref());
+            h = Some(new.value().clone());
+            out.push(new.value().clone());
+            if g + 1 < src.num_timestamps() {
+                live.apply(&src.diffs()[g]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batched_answers_match_direct_forward_bitwise() {
+        let (src, x, _ps, cell) = setup();
+        let expected = direct_chain(&src, &x, &cell);
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell), x, live, "seastar");
+        let queue = RequestQueue::new(64);
+        let config = ServeConfig {
+            flush_interval: Duration::from_micros(200),
+            ..ServeConfig::default()
+        };
+        let diffs = src.diffs();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                let mut responses = Vec::new();
+                for g in 0..3u64 {
+                    let tickets: Vec<Ticket> = (0..6).map(|n| queue.submit(n)).collect();
+                    responses.extend(tickets.into_iter().map(Ticket::wait));
+                    if g < 2 {
+                        queue.advance(diffs[g as usize].clone());
+                    }
+                }
+                queue.close();
+                responses
+            });
+            engine.run(&queue, &config);
+            let responses = producer.join().unwrap();
+            assert_eq!(responses.len(), 18);
+            for resp in responses {
+                let want = &expected[resp.generation as usize];
+                let row: Vec<u32> = (0..4)
+                    .map(|j| want.at(resp.node as usize, j).to_bits())
+                    .collect();
+                let got: Vec<u32> = resp.values.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, row, "node {} gen {}", resp.node, resp.generation);
+            }
+        });
+        let report = engine.report(Duration::from_millis(1));
+        assert_eq!(report.queries, 18);
+        assert_eq!(report.forwards, 3, "one forward per generation");
+        assert_eq!(report.generation, 2);
+        assert!(report.p99 >= report.p50);
+    }
+
+    #[test]
+    fn queries_coalesce_into_few_batches() {
+        let (src, x, _ps, cell) = setup();
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell), x, live, "seastar");
+        let queue = RequestQueue::new(256);
+        let config = ServeConfig {
+            max_batch: 64,
+            flush_interval: Duration::from_millis(20),
+            queue_capacity: 256,
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let tickets: Vec<Ticket> = (0..48).map(|i| queue.submit(i % 6)).collect();
+                for t in tickets {
+                    t.wait();
+                }
+                queue.close();
+            });
+            engine.run(&queue, &config);
+        });
+        let report = engine.report(Duration::from_millis(1));
+        assert_eq!(report.queries, 48);
+        assert_eq!(report.forwards, 1, "one generation, one forward");
+        assert!(
+            report.batches <= 4,
+            "48 queries should coalesce, got {} batches",
+            report.batches
+        );
+    }
+
+    #[test]
+    fn hidden_chain_covers_unqueried_generations() {
+        let (src, x, _ps, cell) = setup();
+        let expected = direct_chain(&src, &x, &cell);
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell), x, live, "seastar");
+        let queue = RequestQueue::new(16);
+        let config = ServeConfig::default();
+        let diffs = src.diffs();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                // No queries at generation 0 or 1 — only at the last one.
+                queue.advance(diffs[0].clone());
+                queue.advance(diffs[1].clone());
+                let t = queue.submit(2);
+                let resp = t.wait();
+                queue.close();
+                resp
+            });
+            engine.run(&queue, &config);
+            let resp = producer.join().unwrap();
+            assert_eq!(resp.generation, 2);
+            let want: Vec<u32> = (0..4).map(|j| expected[2].at(2, j).to_bits()).collect();
+            let got: Vec<u32> = resp.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "skipped generations must still advance h");
+        });
+        // Generations 0 and 1 each got their pinned forward.
+        assert_eq!(engine.report(Duration::from_millis(1)).forwards, 3);
+    }
+
+    #[test]
+    fn config_from_env_defaults() {
+        let c = ServeConfig::from_env();
+        assert!(c.max_batch >= 1);
+        assert!(c.queue_capacity >= 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! `stgraph-serve` — streaming inference for trained temporal GNNs.
+//!
+//! Training (the rest of the workspace) optimises a model over a *fixed*
+//! DTDG. This crate covers what happens after: the model is frozen into a
+//! checkpoint, the graph keeps changing, and queries arrive concurrently.
+//! Three pieces:
+//!
+//! * [`checkpoint`] — the versioned, checksummed `.stgc` binary format plus
+//!   a [`StateDict`](stgraph_tensor::StateDict) save/load pair usable with
+//!   every model in `stgraph` and `pygt-baseline`;
+//! * [`ingest`] — [`LiveGraph`](ingest::LiveGraph), a GPMA-backed graph
+//!   advanced by [`UpdateBatch`](stgraph_dyngraph::UpdateBatch) diffs under
+//!   a generation guard (readers never see a half-applied batch);
+//! * [`engine`] — a micro-batching query engine that coalesces concurrent
+//!   node queries into one batched recurrent step per graph generation,
+//!   with latency percentiles and pool/memory stats in [`stats`].
+//!
+//! The `serve` binary wires them together: load an `.stgc` checkpoint,
+//! replay a dataset's update stream, answer queries, print the report.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod engine;
+pub mod ingest;
+pub mod stats;
+
+pub use checkpoint::{load_checkpoint, load_into, save_checkpoint, save_model, CheckpointError};
+pub use engine::{InferenceEngine, QueryResponse, RequestQueue, ServeConfig, Ticket};
+pub use ingest::{IngestStats, LiveGraph};
+pub use stats::{LatencyRecorder, ServeReport};

@@ -1,0 +1,245 @@
+//! Latency/throughput accounting for the serve engine, fused with the
+//! tensor-layer pool and memory trackers so one report covers the whole
+//! serving stack: query percentiles, ingest cost, buffer-pool recycling
+//! and per-pool live bytes.
+
+use crate::ingest::IngestStats;
+use std::fmt;
+use std::time::Duration;
+use stgraph_tensor::pool::BufPoolStats;
+
+/// Records per-query latencies and reports nearest-rank percentiles.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100); zero when empty.
+    pub fn percentile(&mut self, p: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total / self.samples.len() as u32
+    }
+}
+
+/// The complete serve-run report printed by the `serve` binary.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Queries answered.
+    pub queries: u64,
+    /// Micro-batches flushed through the engine.
+    pub batches: u64,
+    /// Batched forward passes executed (one per generation served).
+    pub forwards: u64,
+    /// Final graph generation reached.
+    pub generation: u64,
+    /// Median query latency.
+    pub p50: Duration,
+    /// 95th-percentile query latency.
+    pub p95: Duration,
+    /// 99th-percentile query latency.
+    pub p99: Duration,
+    /// Mean query latency.
+    pub mean: Duration,
+    /// Wall time of the serving run.
+    pub elapsed: Duration,
+    /// Ingest counters from the live graph.
+    pub ingest: IngestStats,
+    /// Workspace buffer-pool counters ([`stgraph_tensor::pool`]).
+    pub pool: BufPoolStats,
+    /// Per-pool live/peak bytes ([`stgraph_tensor::mem`]).
+    pub mem: Vec<(String, stgraph_tensor::mem::PoolStats)>,
+}
+
+impl ServeReport {
+    /// Queries per second over the run's wall time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Mean queries per micro-batch (coalescing effectiveness).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.queries as f64 / self.batches as f64
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us >= 1000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{us:.1}us")
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve: {} queries in {} batches ({:.1} q/batch), {} forwards over {} generations",
+            self.queries,
+            self.batches,
+            self.mean_batch_size(),
+            self.forwards,
+            self.generation + 1,
+        )?;
+        writeln!(
+            f,
+            "latency: p50 {}  p95 {}  p99 {}  mean {}",
+            fmt_dur(self.p50),
+            fmt_dur(self.p95),
+            fmt_dur(self.p99),
+            fmt_dur(self.mean),
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.0} q/s over {:.3}s wall",
+            self.throughput_qps(),
+            self.elapsed.as_secs_f64(),
+        )?;
+        writeln!(
+            f,
+            "ingest: {} batches (+{} -{} edges) in {}",
+            self.ingest.batches,
+            self.ingest.edges_added,
+            self.ingest.edges_deleted,
+            fmt_dur(self.ingest.ingest_time),
+        )?;
+        writeln!(
+            f,
+            "buffer pool: {} hits / {} misses, {} recycled, {} cached, {} trimmed",
+            self.pool.hits,
+            self.pool.misses,
+            fmt_bytes(self.pool.recycled_bytes),
+            fmt_bytes(self.pool.cached_bytes),
+            fmt_bytes(self.pool.trimmed_bytes),
+        )?;
+        for (name, s) in &self.mem {
+            if s.total_allocated > 0 {
+                writeln!(
+                    f,
+                    "mem[{name}]: live {}  peak {}  total {} in {} allocs",
+                    fmt_bytes(s.live),
+                    fmt_bytes(s.peak),
+                    fmt_bytes(s.total_allocated),
+                    s.allocations,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        assert_eq!(r.percentile(50.0), Duration::from_millis(50));
+        assert_eq!(r.percentile(95.0), Duration::from_millis(95));
+        assert_eq!(r.percentile(99.0), Duration::from_millis(99));
+        assert_eq!(r.percentile(100.0), Duration::from_millis(100));
+        assert_eq!(r.mean(), Duration::from_micros(50500));
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.percentile(99.0), Duration::ZERO);
+        assert_eq!(r.mean(), Duration::ZERO);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_millis(7));
+        assert_eq!(r.percentile(50.0), Duration::from_millis(7));
+        assert_eq!(r.percentile(99.0), Duration::from_millis(7));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn report_derives_and_displays() {
+        let report = ServeReport {
+            queries: 100,
+            batches: 10,
+            forwards: 5,
+            generation: 4,
+            p50: Duration::from_micros(120),
+            p95: Duration::from_micros(900),
+            p99: Duration::from_millis(2),
+            mean: Duration::from_micros(200),
+            elapsed: Duration::from_secs(2),
+            ingest: IngestStats::default(),
+            pool: stgraph_tensor::pool::stats(),
+            mem: stgraph_tensor::mem::all_stats(),
+        };
+        assert!((report.throughput_qps() - 50.0).abs() < 1e-9);
+        assert!((report.mean_batch_size() - 10.0).abs() < 1e-9);
+        let text = format!("{report}");
+        assert!(text.contains("p50 120.0us"));
+        assert!(text.contains("p99 2.00ms"));
+        assert!(text.contains("50 q/s"));
+    }
+}

@@ -23,6 +23,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use autograd::{Param, Tape, Var};
+pub use nn::{StateDict, StateDictError, StateEntry};
 pub use pool::PoolScope;
 pub use shape::Shape;
 pub use tensor::{par_min, Tensor};

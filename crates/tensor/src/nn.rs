@@ -7,6 +7,95 @@ use crate::autograd::{Param, Tape, Var};
 use crate::tensor::Tensor;
 use rand::Rng;
 
+/// One named tensor in a serialised model state: `(name, shape, row-major
+/// data)`. The tuple form matches [`ParamSet::state_dict`] so checkpoints
+/// and in-memory state dicts are interchangeable.
+pub type StateEntry = (String, crate::Shape, Vec<f32>);
+
+/// Typed failure from [`StateDict::try_load_state_dict`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateDictError {
+    /// The dict has no entry for a parameter the model owns.
+    MissingParam(String),
+    /// An entry exists but its shape differs from the parameter's.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape the model expects.
+        expected: crate::Shape,
+        /// Shape found in the dict.
+        found: crate::Shape,
+    },
+}
+
+impl std::fmt::Display for StateDictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateDictError::MissingParam(name) => {
+                write!(f, "state dict missing parameter '{name}'")
+            }
+            StateDictError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shape mismatch for '{name}': model expects {expected}, dict has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateDictError {}
+
+/// Models whose parameters can be exported and imported by name — the
+/// checkpointing interface `stgraph-serve` persists through its `.stgc`
+/// format. Implementors only provide [`StateDict::parameters`]; export and
+/// import derive from it.
+pub trait StateDict {
+    /// Every learnable parameter, in registration order.
+    fn parameters(&self) -> Vec<Param>;
+
+    /// Snapshots all parameters as named `(name, shape, data)` entries.
+    fn to_state_dict(&self) -> Vec<StateEntry> {
+        self.parameters()
+            .iter()
+            .map(|p| {
+                let v = p.value();
+                (p.name(), v.shape(), v.to_vec())
+            })
+            .collect()
+    }
+
+    /// Restores parameters by name. Entries the model does not own are
+    /// ignored (so a sub-model can load from a larger checkpoint); every
+    /// owned parameter must be present with an identical shape. Validation
+    /// runs before any mutation, so on error the model is unchanged.
+    fn try_load_state_dict(&self, dict: &[StateEntry]) -> Result<(), StateDictError> {
+        let params = self.parameters();
+        let mut resolved = Vec::with_capacity(params.len());
+        for p in &params {
+            let name = p.name();
+            let Some((_, shape, data)) = dict.iter().find(|(n, _, _)| *n == name) else {
+                return Err(StateDictError::MissingParam(name));
+            };
+            let expected = p.value().shape();
+            if *shape != expected {
+                return Err(StateDictError::ShapeMismatch {
+                    name,
+                    expected,
+                    found: *shape,
+                });
+            }
+            resolved.push((p, *shape, data));
+        }
+        for (p, shape, data) in resolved {
+            p.set_value(Tensor::from_vec(shape, data.clone()));
+        }
+        Ok(())
+    }
+}
+
 /// An ordered collection of parameters, shared by modules and optimizers.
 #[derive(Clone, Default)]
 pub struct ParamSet {
@@ -85,6 +174,20 @@ impl ParamSet {
             assert_eq!(*shape, p.value().shape(), "shape mismatch for '{name}'");
             p.set_value(Tensor::from_vec(*shape, data.clone()));
         }
+    }
+}
+
+impl StateDict for ParamSet {
+    fn parameters(&self) -> Vec<Param> {
+        self.params.clone()
+    }
+}
+
+impl StateDict for Linear {
+    fn parameters(&self) -> Vec<Param> {
+        let mut out = vec![self.weight.clone()];
+        out.extend(self.bias.iter().cloned());
+        out
     }
 }
 
@@ -213,6 +316,41 @@ mod tests {
         let mut ps = ParamSet::new();
         let _ = Linear::new(&mut ps, "l", 2, 2, false, &mut rng);
         ps.load_state_dict(&[]);
+    }
+
+    #[test]
+    fn statedict_trait_roundtrips_and_ignores_extras() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut ps = ParamSet::new();
+        let lin = Linear::new(&mut ps, "l", 3, 2, true, &mut rng);
+        let mut dict = StateDict::to_state_dict(&ps);
+        // Extra entries are ignored on load.
+        dict.push(("other.weight".into(), crate::Shape::Vec(4), vec![0.0; 4]));
+        lin.weight.set_value(Tensor::zeros((3, 2)));
+        ps.try_load_state_dict(&dict).unwrap();
+        assert_eq!(lin.weight.value().to_vec(), dict[0].2);
+    }
+
+    #[test]
+    fn statedict_errors_are_typed_and_leave_model_untouched() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ps = ParamSet::new();
+        let lin = Linear::new(&mut ps, "l", 2, 2, false, &mut rng);
+        let before = lin.weight.value().to_vec();
+        assert_eq!(
+            ps.try_load_state_dict(&[]),
+            Err(StateDictError::MissingParam("l.weight".into()))
+        );
+        let bad = vec![("l.weight".into(), crate::Shape::Vec(4), vec![1.0; 4])];
+        assert!(matches!(
+            ps.try_load_state_dict(&bad),
+            Err(StateDictError::ShapeMismatch { .. })
+        ));
+        assert_eq!(
+            lin.weight.value().to_vec(),
+            before,
+            "model must be unchanged"
+        );
     }
 
     #[test]
