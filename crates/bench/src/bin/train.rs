@@ -47,6 +47,8 @@ Options:
   --lr <f>                Adam learning rate (default 0.01)
   --seed <n>              RNG seed (default 42)
   --save <path>           write trained weights as an .stgc checkpoint
+  --trace <path>          enable tracing and write a Chrome trace_event JSON
+                          timeline there (chrome://tracing / Perfetto)
   --help                  this text";
 
 fn parse_args() -> HashMap<String, String> {
@@ -151,6 +153,10 @@ fn main() {
     let lr = get(&args, "lr", 0.01f32);
     let seed = get(&args, "seed", 42u64);
     let save_path = args.get("save").cloned();
+    let trace_path = args.get("trace").cloned();
+    if trace_path.is_some() {
+        stgraph_telemetry::set_enabled(true);
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
     println!(
@@ -250,5 +256,15 @@ fn main() {
             save_if_requested(&trained, save_path.as_deref());
         }
         _ => unreachable!(),
+    }
+
+    if let Some(path) = &trace_path {
+        match stgraph_telemetry::export::write_chrome_trace(path) {
+            Ok(()) => println!("wrote Chrome trace to {path}"),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

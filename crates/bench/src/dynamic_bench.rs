@@ -3,7 +3,7 @@
 //! PyG-T baseline, with the GNN-compute vs graph-update time split
 //! instrumented for the STGraph variants.
 
-use crate::{BenchScale, RunResult};
+use crate::{BenchScale, CounterSnapshot, RunResult};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::cell::RefCell;
@@ -125,6 +125,7 @@ pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchSca
             let _ = exec.take_gnn_time();
             let _ = provider.borrow_mut().take_update_time();
             mem::reset_peak(pool);
+            let counters = CounterSnapshot::capture(pool);
             let start = Instant::now();
             for _ in 0..scale.epochs {
                 loss = train_epoch_link_prediction(
@@ -143,6 +144,7 @@ pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchSca
             // updating/constructing snapshots is model compute.
             let _ = exec.take_gnn_time();
             let update = provider.borrow_mut().take_update_time().as_secs_f64();
+            let (allocs, pool_hit_rate) = counters.delta(pool, scale.epochs);
             RunResult {
                 epoch_ms,
                 peak_bytes: mem::stats(pool).peak,
@@ -152,6 +154,8 @@ pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchSca
                 } else {
                     1.0
                 },
+                allocs,
+                pool_hit_rate,
             }
         }
         DynamicVariant::PygT => {
@@ -177,6 +181,7 @@ pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchSca
                 );
             }
             mem::reset_peak(pool);
+            let counters = CounterSnapshot::capture(pool);
             let start = Instant::now();
             for _ in 0..scale.epochs {
                 loss = pygt_baseline::train::train_epoch_link_prediction(
@@ -189,11 +194,14 @@ pub fn run_dynamic(cfg: &DynamicConfig, variant: DynamicVariant, scale: BenchSca
                 );
             }
             let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;
+            let (allocs, pool_hit_rate) = counters.delta(pool, scale.epochs);
             RunResult {
                 epoch_ms,
                 peak_bytes: mem::stats(pool).peak,
                 final_loss: loss,
                 gnn_fraction: 1.0,
+                allocs,
+                pool_hit_rate,
             }
         }
     })

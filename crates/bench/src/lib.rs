@@ -34,6 +34,46 @@ pub struct RunResult {
     /// Fraction of epoch time spent on GNN compute (dynamic runs; 1.0 for
     /// frameworks without the split instrumented).
     pub gnn_fraction: f64,
+    /// Tracked allocator calls per measured epoch (memory-tracker counter,
+    /// the same one telemetry exports as `mem.<pool>.allocations`).
+    pub allocs: u64,
+    /// Workspace buffer-pool hit rate over the measured epochs
+    /// (`hits / (hits + misses)`; 0 when the pool saw no traffic).
+    pub pool_hit_rate: f64,
+}
+
+/// Before/after snapshot of the allocator and buffer-pool counters, so runs
+/// report per-epoch deltas rather than process-lifetime totals.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSnapshot {
+    allocations: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CounterSnapshot {
+    /// Captures the counters for the named memory pool.
+    pub fn capture(pool: &str) -> CounterSnapshot {
+        let p = stgraph_tensor::pool::stats();
+        CounterSnapshot {
+            allocations: stgraph_tensor::mem::stats(pool).allocations,
+            hits: p.hits,
+            misses: p.misses,
+        }
+    }
+
+    /// `(allocations per epoch, pool hit rate)` accumulated since `self`.
+    pub fn delta(&self, pool: &str, epochs: usize) -> (u64, f64) {
+        let after = CounterSnapshot::capture(pool);
+        let allocs = (after.allocations - self.allocations) / epochs.max(1) as u64;
+        let (hits, misses) = (after.hits - self.hits, after.misses - self.misses);
+        let rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        (allocs, rate)
+    }
 }
 
 /// Benchmark scale knobs, overridable via environment variables so the

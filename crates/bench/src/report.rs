@@ -25,8 +25,17 @@ pub struct Row {
 pub fn print_table(title: &str, x_label: &str, rows: &[Row], baseline: &str) {
     println!("\n=== {title} ===");
     println!(
-        "{:<6} {:<14} {:>10} {:>12} {:>12} {:>9} {:>10} {:>10}",
-        "data", "series", x_label, "epoch_ms", "peak_MiB", "loss", "speedup", "mem_ratio"
+        "{:<6} {:<14} {:>10} {:>12} {:>12} {:>9} {:>9} {:>6} {:>10} {:>10}",
+        "data",
+        "series",
+        x_label,
+        "epoch_ms",
+        "peak_MiB",
+        "loss",
+        "allocs",
+        "hit%",
+        "speedup",
+        "mem_ratio"
     );
     for row in rows {
         let base = rows.iter().find(|r| {
@@ -43,13 +52,15 @@ pub fn print_table(title: &str, x_label: &str, rows: &[Row], baseline: &str) {
             _ => ("-".to_string(), "-".to_string()),
         };
         println!(
-            "{:<6} {:<14} {:>10} {:>12.2} {:>12.2} {:>9.4} {:>10} {:>10}",
+            "{:<6} {:<14} {:>10} {:>12.2} {:>12.2} {:>9.4} {:>9} {:>6.1} {:>10} {:>10}",
             row.dataset,
             row.series,
             row.x,
             row.result.epoch_ms,
             row.result.peak_bytes as f64 / (1024.0 * 1024.0),
             row.result.final_loss,
+            row.result.allocs,
+            row.result.pool_hit_rate * 100.0,
             speedup,
             mem_ratio,
         );
@@ -101,6 +112,8 @@ mod tests {
                 peak_bytes: bytes,
                 final_loss: 0.1,
                 gnn_fraction: 1.0,
+                allocs: 0,
+                pool_hit_rate: 0.0,
             },
         }
     }

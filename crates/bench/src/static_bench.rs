@@ -2,7 +2,7 @@
 //! default TGCN on a static-temporal dataset under STGraph or the PyG-T
 //! baseline and reports per-epoch time, peak memory and final loss.
 
-use crate::{BenchScale, RunResult};
+use crate::{BenchScale, CounterSnapshot, RunResult};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -91,6 +91,7 @@ pub fn run_static(cfg: &StaticConfig, framework: Framework, scale: BenchScale) -
                 );
             }
             mem::reset_peak(pool);
+            let counters = CounterSnapshot::capture(pool);
             let start = Instant::now();
             for _ in 0..scale.epochs {
                 loss = train_epoch_node_regression(
@@ -103,11 +104,14 @@ pub fn run_static(cfg: &StaticConfig, framework: Framework, scale: BenchScale) -
                 );
             }
             let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;
+            let (allocs, pool_hit_rate) = counters.delta(pool, scale.epochs);
             RunResult {
                 epoch_ms,
                 peak_bytes: mem::stats(pool).peak,
                 final_loss: loss,
                 gnn_fraction: 1.0,
+                allocs,
+                pool_hit_rate,
             }
         }
         Framework::PygT => {
@@ -135,6 +139,7 @@ pub fn run_static(cfg: &StaticConfig, framework: Framework, scale: BenchScale) -
                 );
             }
             mem::reset_peak(pool);
+            let counters = CounterSnapshot::capture(pool);
             let start = Instant::now();
             for _ in 0..scale.epochs {
                 loss = pygt_baseline::train::train_epoch_node_regression(
@@ -147,11 +152,14 @@ pub fn run_static(cfg: &StaticConfig, framework: Framework, scale: BenchScale) -
                 );
             }
             let epoch_ms = start.elapsed().as_secs_f64() * 1000.0 / scale.epochs as f64;
+            let (allocs, pool_hit_rate) = counters.delta(pool, scale.epochs);
             RunResult {
                 epoch_ms,
                 peak_bytes: mem::stats(pool).peak,
                 final_loss: loss,
                 gnn_fraction: 1.0,
+                allocs,
+                pool_hit_rate,
             }
         }
     })

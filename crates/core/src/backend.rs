@@ -52,6 +52,7 @@ impl AggregationBackend for SeastarBackend {
         edge_consts: &[&Tensor],
         save: &[Id],
     ) -> ExecOutput {
+        let _sp = stgraph_telemetry::span_cat("kernel.fused", "kernel");
         stgraph_seastar::exec::execute(prog, graph, inputs, node_consts, edge_consts, save)
     }
 }
@@ -89,6 +90,7 @@ impl AggregationBackend for ReferenceBackend {
         edge_consts: &[&Tensor],
         save: &[Id],
     ) -> ExecOutput {
+        let _sp = stgraph_telemetry::span_cat("kernel.unfused", "kernel");
         let n = graph.num_nodes();
         let m = graph.num_edges();
         let (src, dst) = edge_endpoints(graph.reverse_csr());

@@ -20,11 +20,12 @@ use crate::backend::AggregationBackend;
 use crate::stacks::{GraphStack, StateFrame, StateStack};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use stgraph_dyngraph::source::DtdgGraph;
 use stgraph_graph::base::Snapshot;
 use stgraph_seastar::autodiff::{differentiate, BackwardPlan, NodeSave};
 use stgraph_seastar::ir::{Id, Program};
+use stgraph_telemetry::{span_timed, TimeAccumulator};
 use stgraph_tensor::{Tape, Tensor, Var};
 
 /// A forward program compiled together with its backward plan and save set.
@@ -110,7 +111,7 @@ struct ExecShared {
     graph_stack: RefCell<GraphStack>,
     snap_memo: RefCell<Option<(usize, Snapshot)>>,
     phase: Cell<Phase>,
-    gnn_time: Cell<Duration>,
+    gnn_time: TimeAccumulator,
 }
 
 impl ExecShared {
@@ -158,7 +159,7 @@ impl TemporalExecutor {
                 graph_stack: RefCell::new(GraphStack::new()),
                 snap_memo: RefCell::new(None),
                 phase: Cell::new(Phase::Forward),
-                gnn_time: Cell::new(Duration::ZERO),
+                gnn_time: TimeAccumulator::new(),
             }),
         }
     }
@@ -186,7 +187,7 @@ impl TemporalExecutor {
     /// Drains the accumulated kernel (GNN compute) time — the complement of
     /// the graph-update time in Figure 9's breakdown.
     pub fn take_gnn_time(&self) -> Duration {
-        self.shared.gnn_time.replace(Duration::ZERO)
+        self.shared.gnn_time.take()
     }
 
     /// Applies a compiled vertex-centric program at timestamp `t`,
@@ -215,16 +216,17 @@ impl TemporalExecutor {
         let input_tensors: Vec<&Tensor> = inputs.iter().map(|v| v.value()).collect();
         let const_refs: Vec<&Tensor> = node_consts.iter().collect();
         let edge_refs: Vec<&Tensor> = edge_consts.iter().collect();
-        let start = Instant::now();
-        let mut exec = shared.backend.execute(
-            &prog.forward,
-            &snap,
-            &input_tensors,
-            &const_refs,
-            &edge_refs,
-            &prog.save_ids,
-        );
-        shared.gnn_time.set(shared.gnn_time.get() + start.elapsed());
+        let mut exec = {
+            let _sp = span_timed("kernel.forward", &shared.gnn_time);
+            shared.backend.execute(
+                &prog.forward,
+                &snap,
+                &input_tensors,
+                &const_refs,
+                &edge_refs,
+                &prog.save_ids,
+            )
+        };
 
         // Push the saved set (State Stack) and the timestamp (Graph Stack).
         // Extra saves (ablation: no saved-set minimisation) go after the
@@ -246,6 +248,11 @@ impl TemporalExecutor {
         });
         if shared.is_dynamic() {
             shared.graph_stack.borrow_mut().push(t);
+        }
+        stgraph_telemetry::counter("stack.pushes").inc();
+        {
+            let (pushes, pops) = shared.state_stack.borrow().counts();
+            stgraph_telemetry::histogram("stack.depth").record((pushes - pops) as u64);
         }
 
         // Context captured for the backward closure.
@@ -273,6 +280,7 @@ impl TemporalExecutor {
             };
             // State Stack pop.
             let frame = shared.state_stack.borrow_mut().pop(t);
+            stgraph_telemetry::counter("stack.pops").inc();
 
             // Assemble the backward constant tables: forward consts, then
             // the frame's saves in plan slot order.
@@ -288,16 +296,17 @@ impl TemporalExecutor {
             let mut b_edge_consts: Vec<&Tensor> = edge_consts.iter().collect();
             b_edge_consts.extend(frame.edge_values.iter());
 
-            let start = Instant::now();
-            let bexec = shared.backend.execute(
-                &prog.backward.program,
-                &snap,
-                &[grad_out],
-                &b_node_consts,
-                &b_edge_consts,
-                &[],
-            );
-            shared.gnn_time.set(shared.gnn_time.get() + start.elapsed());
+            let bexec = {
+                let _sp = span_timed("kernel.backward", &shared.gnn_time);
+                shared.backend.execute(
+                    &prog.backward.program,
+                    &snap,
+                    &[grad_out],
+                    &b_node_consts,
+                    &b_edge_consts,
+                    &[],
+                )
+            };
 
             prog.backward
                 .input_grads

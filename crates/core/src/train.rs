@@ -87,24 +87,33 @@ pub fn train_epoch_node_regression<C: RecurrentCell>(
         let tape = Tape::new();
         let mut h: Option<Var> = carried.take().map(|t| tape.constant(t));
         let mut seq_loss: Option<Var> = None;
-        for t in start..end {
-            let x = tape.constant(features[t].clone());
-            let (pred, h_new) = model.forward(&tape, exec, t, &x, h.as_ref());
-            let l = pred.mse_loss(&targets[t]);
-            seq_loss = Some(match seq_loss {
-                Some(acc) => acc.add(&l),
-                None => l,
-            });
-            h = Some(h_new);
-            steps += 1;
+        {
+            let _sp = stgraph_telemetry::span("train.forward");
+            for t in start..end {
+                let x = tape.constant(features[t].clone());
+                let (pred, h_new) = model.forward(&tape, exec, t, &x, h.as_ref());
+                let l = pred.mse_loss(&targets[t]);
+                seq_loss = Some(match seq_loss {
+                    Some(acc) => acc.add(&l),
+                    None => l,
+                });
+                h = Some(h_new);
+                steps += 1;
+            }
         }
         let loss = seq_loss
             .expect("non-empty sequence")
             .mul_scalar(1.0 / (end - start) as f32);
         epoch_loss += loss.value().item() as f64 * (end - start) as f64;
         carried = h.map(|v| v.value().clone()); // detach across sequences
-        tape.backward(&loss);
-        opt.step();
+        {
+            let _sp = stgraph_telemetry::span("train.backward");
+            tape.backward(&loss);
+        }
+        {
+            let _sp = stgraph_telemetry::span("train.optimizer");
+            opt.step();
+        }
         start = end;
     }
     (epoch_loss / steps as f64) as f32
@@ -233,23 +242,32 @@ pub fn train_epoch_link_prediction<C: RecurrentCell>(
         let tape = Tape::new();
         let mut h: Option<Var> = carried.take().map(|t| tape.constant(t));
         let mut seq_loss: Option<Var> = None;
-        #[allow(clippy::needless_range_loop)] // t is a timestamp, not just an index
-        for t in start..end {
-            let x = tape.constant(features.clone());
-            let h_new = cell.step(&tape, exec, t, &x, h.as_ref());
-            let logits = edge_logits(&h_new, &batches[t]);
-            let l = logits.bce_with_logits_loss(&batches[t].labels);
-            seq_loss = Some(match seq_loss {
-                Some(acc) => acc.add(&l),
-                None => l,
-            });
-            h = Some(h_new);
+        {
+            let _sp = stgraph_telemetry::span("train.forward");
+            #[allow(clippy::needless_range_loop)] // t is a timestamp, not just an index
+            for t in start..end {
+                let x = tape.constant(features.clone());
+                let h_new = cell.step(&tape, exec, t, &x, h.as_ref());
+                let logits = edge_logits(&h_new, &batches[t]);
+                let l = logits.bce_with_logits_loss(&batches[t].labels);
+                seq_loss = Some(match seq_loss {
+                    Some(acc) => acc.add(&l),
+                    None => l,
+                });
+                h = Some(h_new);
+            }
         }
         let loss = seq_loss.unwrap().mul_scalar(1.0 / (end - start) as f32);
         epoch_loss += loss.value().item() as f64 * (end - start) as f64;
         carried = h.map(|v| v.value().clone());
-        tape.backward(&loss);
-        opt.step();
+        {
+            let _sp = stgraph_telemetry::span("train.backward");
+            tape.backward(&loss);
+        }
+        {
+            let _sp = stgraph_telemetry::span("train.optimizer");
+            opt.step();
+        }
         start = end;
     }
     (epoch_loss / total as f64) as f32

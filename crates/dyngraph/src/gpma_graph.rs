@@ -11,9 +11,10 @@
 //!   instead of replaying updates from the rewound position.
 
 use crate::source::{DtdgGraph, DtdgSource, UpdateBatch};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use stgraph_graph::base::Snapshot;
 use stgraph_pma::Gpma;
+use stgraph_telemetry::{span_timed, TimeAccumulator};
 
 /// A DTDG stored as a base GPMA plus per-timestamp update batches.
 pub struct GpmaGraph {
@@ -24,7 +25,7 @@ pub struct GpmaGraph {
     /// Algorithm-2 cache: GPMA state at the given timestamp.
     cache: Option<(usize, Gpma)>,
     num_timestamps: usize,
-    update_time: Duration,
+    update_time: TimeAccumulator,
 }
 
 impl GpmaGraph {
@@ -37,7 +38,7 @@ impl GpmaGraph {
             curr_time: 0,
             cache: None,
             num_timestamps: source.num_timestamps(),
-            update_time: Duration::ZERO,
+            update_time: TimeAccumulator::new(),
         }
     }
 
@@ -54,6 +55,8 @@ impl GpmaGraph {
     /// Applies the update batch that advances `t-1 -> t`.
     fn step_forward(&mut self, t: usize) {
         let u = &self.updates[t - 1];
+        stgraph_telemetry::counter("gpma.edges_inserted").add(u.additions.len() as u64);
+        stgraph_telemetry::counter("gpma.edges_deleted").add(u.deletions.len() as u64);
         self.gpma.insert_edges(&u.additions);
         self.gpma.delete_edges(&u.deletions);
     }
@@ -61,15 +64,21 @@ impl GpmaGraph {
     /// Applies the inverse batch, rewinding `t -> t-1`.
     fn step_backward(&mut self, t: usize) {
         let u = &self.updates[t - 1];
+        stgraph_telemetry::counter("gpma.edges_inserted").add(u.deletions.len() as u64);
+        stgraph_telemetry::counter("gpma.edges_deleted").add(u.additions.len() as u64);
         self.gpma.delete_edges(&u.additions);
         self.gpma.insert_edges(&u.deletions);
     }
 
     /// Relabels edges and materialises the snapshot for the current state.
     fn build_snapshot(&mut self) -> Snapshot {
+        let _sp = stgraph_telemetry::span_cat("snapshot.build", "snapshot");
+        let start = std::time::Instant::now();
         self.gpma.relabel_edges();
         let (csr, _in_deg) = self.gpma.csr_view();
-        Snapshot::from_csr(csr)
+        let snap = Snapshot::from_csr(csr);
+        stgraph_telemetry::histogram("snapshot.build_ns").record_duration(start.elapsed());
+        snap
     }
 }
 
@@ -89,7 +98,7 @@ impl DtdgGraph for GpmaGraph {
     /// while the GPMA still sits at the last sequence's start).
     fn get_graph(&mut self, t: usize) -> Snapshot {
         assert!(t < self.num_timestamps, "timestamp {t} out of range");
-        let start = Instant::now();
+        let _sp = span_timed("snapshot.forward", &self.update_time);
         if let Some((ct, state)) = &self.cache {
             if *ct <= t && *ct > self.curr_time {
                 self.gpma = state.clone_state();
@@ -114,15 +123,13 @@ impl DtdgGraph for GpmaGraph {
         if should_cache {
             self.cache = Some((t, self.gpma.clone_state()));
         }
-        let snap = self.build_snapshot();
-        self.update_time += start.elapsed();
-        snap
+        self.build_snapshot()
     }
 
     /// Reverse updates from the current position down to `t` (strict LIFO
     /// relative to the forward pass), then materialise the reverse graph.
     fn get_backward_graph(&mut self, t: usize) -> Snapshot {
-        let start = Instant::now();
+        let _sp = span_timed("snapshot.backward", &self.update_time);
         assert!(
             t <= self.curr_time,
             "Get-Backward-Graph must move backward (at {}, asked {t})",
@@ -133,13 +140,11 @@ impl DtdgGraph for GpmaGraph {
             self.step_backward(cur);
             self.curr_time = cur - 1;
         }
-        let snap = self.build_snapshot();
-        self.update_time += start.elapsed();
-        snap
+        self.build_snapshot()
     }
 
     fn take_update_time(&mut self) -> Duration {
-        std::mem::take(&mut self.update_time)
+        self.update_time.take()
     }
 }
 

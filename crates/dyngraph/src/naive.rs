@@ -6,14 +6,15 @@
 //! which is the overhead Figure 8 shows.
 
 use crate::source::{DtdgGraph, DtdgSource};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use stgraph_graph::base::Snapshot;
+use stgraph_telemetry::{span_timed, TimeAccumulator};
 
 /// A DTDG stored as one pre-processed [`Snapshot`] per timestamp.
 pub struct NaiveGraph {
     num_nodes: usize,
     snapshots: Vec<Snapshot>,
-    update_time: Duration,
+    update_time: TimeAccumulator,
 }
 
 impl NaiveGraph {
@@ -28,7 +29,7 @@ impl NaiveGraph {
         NaiveGraph {
             num_nodes: source.num_nodes,
             snapshots,
-            update_time: Duration::ZERO,
+            update_time: TimeAccumulator::new(),
         }
     }
 
@@ -48,21 +49,17 @@ impl DtdgGraph for NaiveGraph {
     }
 
     fn get_graph(&mut self, t: usize) -> Snapshot {
-        let start = Instant::now();
-        let s = self.snapshots[t].clone();
-        self.update_time += start.elapsed();
-        s
+        let _sp = span_timed("snapshot.forward", &self.update_time);
+        self.snapshots[t].clone()
     }
 
     fn get_backward_graph(&mut self, t: usize) -> Snapshot {
-        let start = Instant::now();
-        let s = self.snapshots[t].clone();
-        self.update_time += start.elapsed();
-        s
+        let _sp = span_timed("snapshot.backward", &self.update_time);
+        self.snapshots[t].clone()
     }
 
     fn take_update_time(&mut self) -> Duration {
-        std::mem::take(&mut self.update_time)
+        self.update_time.take()
     }
 }
 

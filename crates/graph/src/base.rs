@@ -38,7 +38,10 @@ impl Snapshot {
                 in_deg[d as usize] += 1;
             }
         }
-        let rev = reverse_csr(&csr, &in_deg);
+        let rev = {
+            let _sp = stgraph_telemetry::span_cat("snapshot.reverse_csr", "snapshot");
+            reverse_csr(&csr, &in_deg)
+        };
         let out_deg = csr.degrees();
         Snapshot {
             csr: Arc::new(csr),

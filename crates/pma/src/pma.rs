@@ -323,6 +323,20 @@ impl Pma {
     fn write_spread(&mut self, lo: usize, hi: usize, items: &[(u64, u32)]) {
         let slots = hi - lo;
         debug_assert!(items.len() <= slots);
+        // Handles are interned once — rebalances are frequent enough that a
+        // per-call name lookup would show up in insert-heavy workloads.
+        static REBAL: std::sync::OnceLock<(
+            stgraph_telemetry::Counter,
+            &'static stgraph_telemetry::Histogram,
+        )> = std::sync::OnceLock::new();
+        let (rebalances, rebalance_slots) = REBAL.get_or_init(|| {
+            (
+                stgraph_telemetry::counter("pma.rebalances"),
+                stgraph_telemetry::histogram("pma.rebalance_slots"),
+            )
+        });
+        rebalances.inc();
+        rebalance_slots.record(slots as u64);
         self.keys[lo..hi].fill(EMPTY);
         if items.is_empty() {
             return;

@@ -427,6 +427,7 @@ fn balanced_ranges(csr: &Csr, n_chunks: usize) -> Vec<std::ops::Range<usize>> {
 /// on) — and because every row is written, the output can start from a
 /// pooled uninitialised buffer (rows are zero-filled before accumulation).
 fn run_aggregation(plan: &EdgePlan<'_>, csr: &Csr, kind: AggKind, num_nodes: usize) -> Tensor {
+    let _sp = stgraph_telemetry::span_cat("seastar.agg", "kernel");
     let w = plan.root_w;
     let mem_pool = mem::current_pool();
     let mut out = TrackedBuf::raw_in(mem_pool, num_nodes * w);
@@ -496,6 +497,7 @@ fn run_aggregation(plan: &EdgePlan<'_>, csr: &Csr, kind: AggKind, num_nodes: usi
 /// id, used only when the backward program needs the value saved. Iterates
 /// the dense reverse CSR so every edge id is visited exactly once.
 fn materialize_edge_value(plan: &EdgePlan<'_>, rev: &Csr, num_edges: usize) -> Tensor {
+    let _sp = stgraph_telemetry::span_cat("seastar.edge_values", "kernel");
     let w = plan.root_w;
     let mem_pool = mem::current_pool();
     let mut out = TrackedBuf::zeros_in(mem_pool, num_edges * w);

@@ -43,6 +43,10 @@ Options:
   --queue-cap <n>         request queue bound (default 1024 / STGRAPH_SERVE_QUEUE_CAP)
   --seed <n>              RNG seed, must match training (default 42)
   --verify                check served values bitwise against a direct replay
+  --trace <path>          enable tracing and write a Chrome trace_event JSON
+                          timeline there (chrome://tracing / Perfetto)
+  --metrics <path>        write a Prometheus text-exposition snapshot of all
+                          counters/gauges/histograms at exit
   --help                  this text";
 
 fn parse_args() -> HashMap<String, String> {
@@ -147,6 +151,11 @@ fn main() {
     let total_queries = get(&args, "queries", 1000usize);
     let seed = get(&args, "seed", 42u64);
     let verify = args.contains_key("verify");
+    let trace_path = args.get("trace").cloned();
+    let metrics_path = args.get("metrics").cloned();
+    if trace_path.is_some() {
+        stgraph_telemetry::set_enabled(true);
+    }
 
     let mut config = ServeConfig::from_env();
     config.max_batch = get(&args, "max_batch", config.max_batch).max(1);
@@ -209,6 +218,25 @@ fn main() {
 
     let report = engine.report(elapsed);
     print!("{report}");
+
+    if let Some(path) = &trace_path {
+        match stgraph_telemetry::export::write_chrome_trace(path) {
+            Ok(()) => println!("wrote Chrome trace to {path}"),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics_path {
+        match std::fs::write(path, stgraph_telemetry::export::prometheus_text()) {
+            Ok(()) => println!("wrote metrics exposition to {path}"),
+            Err(e) => {
+                eprintln!("failed to write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if verify {
         let (direct_cell, direct_feats) =

@@ -298,6 +298,7 @@ impl InferenceEngine {
                 return (*g, emb.clone());
             }
         }
+        let _sp = stgraph_telemetry::span_cat("serve.forward", "serve");
         let (g, snap) = self.live.snapshot();
         let exec = TemporalExecutor::new(create_backend(&self.backend), GraphSource::Static(snap));
         let tape = Tape::new();
@@ -316,6 +317,7 @@ impl InferenceEngine {
     /// Answers one coalesced micro-batch with a single gather over the
     /// generation's embeddings, filling response slots in parallel.
     fn answer(&mut self, batch: Vec<PendingQuery>) {
+        let _sp = stgraph_telemetry::span_cat("serve.answer", "serve");
         let (generation, emb) = self.ensure_forward();
         let idx: Vec<u32> = batch.iter().map(|(n, _, _)| *n).collect();
         let rows = emb.gather_rows(&idx);
@@ -333,9 +335,13 @@ impl InferenceEngine {
                     latency: done.saturating_duration_since(*submitted),
                 });
             });
+        // The registry copy feeds the Prometheus exposition; the engine's
+        // own recorder (unbounded exact reservoir) produces the report.
+        let registry = stgraph_telemetry::histogram("serve.latency_ns");
         for (_, _, submitted) in &batch {
-            self.latencies
-                .record(done.saturating_duration_since(*submitted));
+            let latency = done.saturating_duration_since(*submitted);
+            self.latencies.record(latency);
+            registry.record_duration(latency);
         }
         self.queries += batch.len() as u64;
         self.batches += 1;
@@ -353,6 +359,7 @@ impl InferenceEngine {
             }
             if let Some(batch) = drained.advance {
                 self.ensure_forward();
+                let _sp = stgraph_telemetry::span_cat("serve.ingest", "serve");
                 self.live.apply(&batch);
             }
             if drained.closed {

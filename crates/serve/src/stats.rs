@@ -6,58 +6,63 @@
 use crate::ingest::IngestStats;
 use std::fmt;
 use std::time::Duration;
+use stgraph_telemetry::Histogram;
 use stgraph_tensor::pool::BufPoolStats;
 
 /// Records per-query latencies and reports nearest-rank percentiles.
-#[derive(Debug, Default, Clone)]
+///
+/// A thin wrapper over the shared [`stgraph_telemetry::Histogram`] with an
+/// unbounded exact-sample reservoir: percentiles stay on the histogram's
+/// exact nearest-rank path regardless of sample count, so reported values
+/// are bit-for-bit what the previous sort-the-`Vec` recorder produced,
+/// while the buckets make the recorder mergeable and exportable.
+#[derive(Debug)]
 pub struct LatencyRecorder {
-    samples: Vec<Duration>,
-    sorted: bool,
+    hist: Histogram,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> LatencyRecorder {
+        LatencyRecorder::new()
+    }
 }
 
 impl LatencyRecorder {
     /// An empty recorder.
     pub fn new() -> LatencyRecorder {
-        LatencyRecorder::default()
+        LatencyRecorder {
+            hist: Histogram::with_exact_cap(usize::MAX),
+        }
     }
 
     /// Adds one sample.
     pub fn record(&mut self, d: Duration) {
-        self.samples.push(d);
-        self.sorted = false;
+        self.hist.record_duration(d);
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.hist.count() as usize
     }
 
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.hist.is_empty()
     }
 
     /// Nearest-rank percentile (`p` in 0..=100); zero when empty.
     pub fn percentile(&mut self, p: f64) -> Duration {
-        if self.samples.is_empty() {
-            return Duration::ZERO;
-        }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let n = self.samples.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        self.samples[rank.clamp(1, n) - 1]
+        self.hist.quantile_duration(p)
     }
 
     /// Arithmetic mean; zero when empty.
     pub fn mean(&self) -> Duration {
-        if self.samples.is_empty() {
-            return Duration::ZERO;
-        }
-        let total: Duration = self.samples.iter().sum();
-        total / self.samples.len() as u32
+        self.hist.mean_duration()
+    }
+
+    /// The underlying histogram (exporters read buckets from here).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
     }
 }
 

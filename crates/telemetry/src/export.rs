@@ -1,0 +1,221 @@
+//! Exporters: Chrome `trace_event` JSON and Prometheus text exposition.
+//!
+//! Both are hand-serialised so the crate stays dependency-free; the JSON
+//! emitter escapes strings per RFC 8259 and the output is validated with a
+//! real parser in the dev-dependency tests.
+
+use crate::hist::Histogram;
+use crate::metrics;
+use crate::span::{self, TraceEvent};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_event(out: &mut String, e: &TraceEvent) {
+    // Chrome's trace viewer takes ts/dur in microseconds; fractional µs are
+    // accepted, so nanosecond precision is kept as a decimal.
+    out.push_str("{\"name\":\"");
+    escape_json_into(out, e.name);
+    out.push_str("\",\"cat\":\"");
+    escape_json_into(out, e.cat);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"depth\":{}}}}}",
+        e.tid,
+        e.start_ns / 1_000,
+        e.start_ns % 1_000,
+        e.dur_ns / 1_000,
+        e.dur_ns % 1_000,
+        e.depth
+    );
+}
+
+/// Drains all pending trace events and renders them as a Chrome
+/// `trace_event` JSON document (the `{"traceEvents": [...]}` object form),
+/// loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json() -> String {
+    let events = span::drain_events();
+    let mut out = String::with_capacity(64 + events.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        write_event(&mut out, e);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// [`chrome_trace_json`] straight to a file.
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+/// Rewrites a dotted metric name (`pma.rebalance_slots`) into a Prometheus
+/// series name (`stgraph_pma_rebalance_slots`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("stgraph_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let base = prom_name(name);
+    let _ = writeln!(out, "# TYPE {base} histogram");
+    let mut cumulative = 0u64;
+    for (upper, n) in h.buckets() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let _ = writeln!(out, "{base}_bucket{{le=\"{upper}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{base}_sum {}", h.sum());
+    let _ = writeln!(out, "{base}_count {}", h.count());
+}
+
+/// Renders every counter, gauge, histogram and span aggregate as
+/// Prometheus text exposition format (version 0.0.4). Span aggregates
+/// become three series labelled by span name:
+/// `stgraph_span_count{span="..."}`, `_total_ns`, `_max_ns`.
+pub fn prometheus_text() -> String {
+    let mut out = String::new();
+    for (name, v) in metrics::counter_values() {
+        let base = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {base} counter");
+        let _ = writeln!(out, "{base} {v}");
+    }
+    for (name, v) in metrics::gauge_values() {
+        let base = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {base} gauge");
+        let _ = writeln!(out, "{base} {}", prom_f64(v));
+    }
+    for (name, h) in metrics::histogram_values() {
+        write_histogram(&mut out, &name, h);
+    }
+    let stats = span::span_stats();
+    if !stats.is_empty() {
+        let _ = writeln!(out, "# TYPE stgraph_span_count counter");
+        let _ = writeln!(out, "# TYPE stgraph_span_total_ns counter");
+        let _ = writeln!(out, "# TYPE stgraph_span_max_ns gauge");
+        for (name, s) in &stats {
+            let _ = writeln!(out, "stgraph_span_count{{span=\"{name}\"}} {}", s.count);
+            let _ = writeln!(
+                out,
+                "stgraph_span_total_ns{{span=\"{name}\"}} {}",
+                s.total_ns
+            );
+            let _ = writeln!(out, "stgraph_span_max_ns{{span=\"{name}\"}} {}", s.max_ns);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        {
+            let _a = crate::span("test.export.outer");
+            let _b = crate::span_cat("test.export.inner", "kernel");
+        }
+        crate::set_enabled(false);
+        let json = chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+        assert!(names.contains(&"test.export.outer"));
+        assert!(names.contains(&"test.export.inner"));
+        let inner = events
+            .iter()
+            .find(|e| e["name"] == "test.export.inner")
+            .unwrap();
+        assert_eq!(inner["ph"], "X");
+        assert_eq!(inner["cat"], "kernel");
+        assert_eq!(inner["pid"], 1);
+        assert!(inner["ts"].as_f64().is_some());
+        assert!(inner["dur"].as_f64().is_some());
+    }
+
+    #[test]
+    fn chrome_trace_empty_is_valid_json() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        // Drain anything left behind by other tests, then render empty.
+        let _ = span::drain_events();
+        let json = chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(doc["traceEvents"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        escape_json_into(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn prometheus_text_exposes_counters_and_histograms() {
+        let _g = crate::test_guard();
+        crate::counter("test.export.counter").add(5);
+        crate::histogram("test.export.hist").record(100);
+        crate::metrics::register_gauge("test.export.gauge", || 2.5);
+        let text = prometheus_text();
+        assert!(
+            text.contains("stgraph_test_export_counter 5")
+                || text.contains("stgraph_test_export_counter ")
+        );
+        assert!(text.contains("stgraph_test_export_gauge 2.5"));
+        assert!(text.contains("stgraph_test_export_hist_count"));
+        assert!(text.contains("stgraph_test_export_hist_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("stgraph_test_export_hist_sum"));
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(
+            prom_name("pma.rebalance-slots"),
+            "stgraph_pma_rebalance_slots"
+        );
+        assert_eq!(prom_name("serve.latency_ns"), "stgraph_serve_latency_ns");
+    }
+}

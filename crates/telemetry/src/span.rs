@@ -1,0 +1,373 @@
+//! Hierarchical timed spans with a thread-local span stack.
+//!
+//! [`span`] opens a named region; dropping the returned [`SpanGuard`]
+//! closes it. Nesting is tracked per thread (the stack unwinds correctly
+//! through panics because closing happens in `Drop`), completed spans feed
+//! a per-name lock-free aggregate (relaxed atomics, safe to update from
+//! any rayon worker) and, while tracing is enabled, a per-thread Chrome
+//! `trace_event` buffer the exporter drains.
+//!
+//! [`span_timed`] additionally folds the measured duration into a caller-
+//! owned [`TimeAccumulator`] *whether or not tracing is enabled* — that is
+//! how the executor's `gnn_time` and the GPMA's `update_time` totals keep
+//! working with `STGRAPH_TRACE` unset, with the timing arithmetic living
+//! here instead of at every call site.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A shared nanosecond accumulator (cheap to clone; all clones add into
+/// the same total). Replaces the `Cell<Duration>` / bare `Duration`
+/// timers the executor and graph stores used to keep by hand.
+#[derive(Clone, Default, Debug)]
+pub struct TimeAccumulator(Arc<AtomicU64>);
+
+impl TimeAccumulator {
+    /// A zeroed accumulator.
+    pub fn new() -> TimeAccumulator {
+        TimeAccumulator::default()
+    }
+
+    /// Adds a duration.
+    pub fn add(&self, d: Duration) {
+        self.0
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Reads the running total.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Drains the total, resetting it to zero.
+    pub fn take(&self) -> Duration {
+        Duration::from_nanos(self.0.swap(0, Ordering::Relaxed))
+    }
+}
+
+/// Lock-free per-name aggregate of completed spans.
+struct SpanStatCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// Snapshot of one span name's aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans under this name.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+static SPAN_STATS: OnceLock<Mutex<HashMap<&'static str, &'static SpanStatCell>>> = OnceLock::new();
+
+fn span_stat_cell(name: &'static str) -> &'static SpanStatCell {
+    let map = SPAN_STATS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = map.lock().unwrap();
+    map.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(SpanStatCell {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// Snapshots every span aggregate, sorted by name.
+pub fn span_stats() -> Vec<(String, SpanStat)> {
+    let Some(map) = SPAN_STATS.get() else {
+        return Vec::new();
+    };
+    let map = map.lock().unwrap();
+    let mut out: Vec<(String, SpanStat)> = map
+        .iter()
+        .map(|(name, cell)| {
+            (
+                name.to_string(),
+                SpanStat {
+                    count: cell.count.load(Ordering::Relaxed),
+                    total_ns: cell.total_ns.load(Ordering::Relaxed),
+                    max_ns: cell.max_ns.load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// One completed region, Chrome `trace_event` "complete" (`ph:"X"`) shaped.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: &'static str,
+    /// Category (`cat` in the trace viewer; defaults to `"stgraph"`).
+    pub cat: &'static str,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Dense telemetry thread id (not the OS tid).
+    pub tid: u64,
+    /// Nesting depth at entry (0 = top level on its thread).
+    pub depth: usize,
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+type EventBuf = Arc<Mutex<Vec<TraceEvent>>>;
+
+static ALL_BUFFERS: OnceLock<Mutex<Vec<EventBuf>>> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL_BUF: RefCell<Option<(u64, EventBuf)>> = const { RefCell::new(None) };
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn with_local_buf(f: impl FnOnce(u64, &EventBuf)) {
+    LOCAL_BUF.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let (tid, buf) = slot.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let buf: EventBuf = Arc::new(Mutex::new(Vec::new()));
+            ALL_BUFFERS
+                .get_or_init(|| Mutex::new(Vec::new()))
+                .lock()
+                .unwrap()
+                .push(Arc::clone(&buf));
+            (tid, buf)
+        });
+        f(*tid, buf);
+    });
+}
+
+/// Drains every thread's pending trace events (exporters call this once).
+pub fn drain_events() -> Vec<TraceEvent> {
+    let Some(bufs) = ALL_BUFFERS.get() else {
+        return Vec::new();
+    };
+    let bufs = bufs.lock().unwrap();
+    let mut out = Vec::new();
+    for buf in bufs.iter() {
+        out.append(&mut buf.lock().unwrap());
+    }
+    out.sort_by_key(|e| (e.tid, e.start_ns));
+    out
+}
+
+/// Current span nesting depth on this thread (tests / stack-depth gauges).
+pub fn current_depth() -> usize {
+    DEPTH.with(|d| d.get())
+}
+
+/// RAII guard for one span. Created by [`span`], [`span_cat`] or
+/// [`span_timed`]; the region closes when the guard drops (including
+/// during panic unwinding, which is what keeps the thread-local stack
+/// consistent under test failures).
+pub struct SpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    /// `None` = fully inert (tracing disabled, nothing to time).
+    start: Option<Instant>,
+    acc: Option<TimeAccumulator>,
+    /// Record aggregate + trace event on drop.
+    traced: bool,
+    depth: usize,
+}
+
+impl SpanGuard {
+    fn open(name: &'static str, cat: &'static str, acc: Option<TimeAccumulator>) -> SpanGuard {
+        let traced = crate::enabled();
+        if !traced && acc.is_none() {
+            return SpanGuard {
+                name,
+                cat,
+                start: None,
+                acc: None,
+                traced: false,
+                depth: 0,
+            };
+        }
+        let depth = if traced {
+            DEPTH.with(|d| {
+                let v = d.get();
+                d.set(v + 1);
+                v
+            })
+        } else {
+            0
+        };
+        SpanGuard {
+            name,
+            cat,
+            start: Some(Instant::now()),
+            acc,
+            traced,
+            depth,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur = start.elapsed();
+        if let Some(acc) = &self.acc {
+            acc.add(dur);
+        }
+        if !self.traced {
+            return;
+        }
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let dur_ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        let cell = span_stat_cell(self.name);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        cell.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+        let start_ns = start
+            .saturating_duration_since(epoch())
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let depth = self.depth;
+        with_local_buf(|tid, buf| {
+            buf.lock().unwrap().push(TraceEvent {
+                name: self.name,
+                cat: self.cat,
+                start_ns,
+                dur_ns,
+                tid,
+                depth,
+            });
+        });
+    }
+}
+
+/// Opens a span. With tracing disabled this is one relaxed atomic load and
+/// an inert guard — no clock read, no allocation.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard::open(name, "stgraph", None)
+}
+
+/// [`span`] with an explicit trace-viewer category.
+#[inline]
+pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
+    SpanGuard::open(name, cat, None)
+}
+
+/// Opens a span that *always* measures wall time and folds it into `acc`,
+/// tracing the region as well when enabled. Use where the duration feeds a
+/// live total (e.g. the executor's GNN-time split) rather than being pure
+/// observability.
+#[inline]
+pub fn span_timed(name: &'static str, acc: &TimeAccumulator) -> SpanGuard {
+    SpanGuard::open(name, "stgraph", Some(acc.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share process-global state (the enabled flag, aggregate
+    // cells, event buffers); each test uses unique span names and delta
+    // assertions so parallel execution stays sound.
+
+    fn stat(name: &str) -> SpanStat {
+        span_stats()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .unwrap_or(SpanStat {
+                count: 0,
+                total_ns: 0,
+                max_ns: 0,
+            })
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        let before = stat("test.inert");
+        {
+            let _s = span("test.inert");
+            assert_eq!(current_depth(), 0);
+        }
+        assert_eq!(stat("test.inert").count, before.count);
+    }
+
+    #[test]
+    fn enabled_spans_nest_and_aggregate() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let before = stat("test.outer");
+        {
+            let _a = span("test.outer");
+            assert_eq!(current_depth(), 1);
+            {
+                let _b = span("test.inner");
+                assert_eq!(current_depth(), 2);
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+        let after = stat("test.outer");
+        assert_eq!(after.count, before.count + 1);
+        assert!(after.total_ns >= before.total_ns);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn unwind_pops_the_stack() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let result = std::panic::catch_unwind(|| {
+            let _a = span("test.unwind.outer");
+            let _b = span("test.unwind.inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(current_depth(), 0, "guards must close during unwind");
+        assert!(stat("test.unwind.inner").count >= 1);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn span_timed_accumulates_even_when_disabled() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        let acc = TimeAccumulator::new();
+        {
+            let _s = span_timed("test.timed", &acc);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(acc.total() >= Duration::from_millis(1));
+        let drained = acc.take();
+        assert!(drained >= Duration::from_millis(1));
+        assert_eq!(acc.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn events_record_and_drain() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        {
+            let _s = span("test.event.drain-me");
+        }
+        let events = drain_events();
+        assert!(events.iter().any(|e| e.name == "test.event.drain-me"));
+        crate::set_enabled(false);
+    }
+}

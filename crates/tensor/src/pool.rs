@@ -132,11 +132,36 @@ pub struct PoolScope {
 impl PoolScope {
     /// Opens a scope on the current thread.
     pub fn new() -> PoolScope {
+        // First scope of the process hooks the pool and memory trackers up
+        // to the telemetry registry as pull-style gauges.
+        static TELEMETRY: std::sync::Once = std::sync::Once::new();
+        TELEMETRY.call_once(install_telemetry_gauges);
         SCOPE_DEPTH.with(|d| d.set(d.get() + 1));
         PoolScope {
             _not_send: PhantomData,
         }
     }
+}
+
+/// Exposes pool counters and every memory-tracker pool to `stgraph-telemetry`
+/// (evaluated lazily at export time; zero steady-state cost).
+fn install_telemetry_gauges() {
+    stgraph_telemetry::register_gauge("pool.hits", || stats().hits as f64);
+    stgraph_telemetry::register_gauge("pool.misses", || stats().misses as f64);
+    stgraph_telemetry::register_gauge("pool.cached_bytes", || stats().cached_bytes as f64);
+    stgraph_telemetry::register_gauge("pool.recycled_bytes", || stats().recycled_bytes as f64);
+    stgraph_telemetry::register_gauge_provider("mem.pools", || {
+        crate::mem::all_stats()
+            .into_iter()
+            .flat_map(|(name, s)| {
+                [
+                    (format!("mem.{name}.live_bytes"), s.live as f64),
+                    (format!("mem.{name}.peak_bytes"), s.peak as f64),
+                    (format!("mem.{name}.allocations"), s.allocations as f64),
+                ]
+            })
+            .collect()
+    });
 }
 
 impl Default for PoolScope {

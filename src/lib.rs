@@ -6,4 +6,5 @@ pub use stgraph_dyngraph as dyngraph;
 pub use stgraph_graph as graph;
 pub use stgraph_pma as pma;
 pub use stgraph_seastar as seastar;
+pub use stgraph_telemetry as telemetry;
 pub use stgraph_tensor as tensor;

@@ -1,0 +1,174 @@
+//! Property-based tests on the telemetry subsystem: the histogram's exact
+//! nearest-rank contract, the 2x bound of the bucketed fallback, merge
+//! determinism across thread interleavings, and span-stack consistency
+//! through nesting and panics.
+
+use proptest::prelude::*;
+use stgraph_repro::telemetry::span::{current_depth, span};
+use stgraph_repro::telemetry::Histogram;
+
+/// Independent nearest-rank reference (the definition, written out).
+fn reference_nearest_rank(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_quantiles_match_nearest_rank(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+        p in 0.0f64..100.0,
+    ) {
+        let h = Histogram::with_exact_cap(usize::MAX);
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert!(!h.overflowed());
+        prop_assert_eq!(h.quantile(p), reference_nearest_rank(&samples, p));
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+    }
+
+    #[test]
+    fn bucketed_quantile_within_2x_of_exact(
+        samples in prop::collection::vec(1u64..1_000_000, 50..300),
+        p in 0.0f64..100.0,
+    ) {
+        let h = Histogram::with_exact_cap(8);
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert!(h.overflowed());
+        let approx = h.quantile(p);
+        let exact = reference_nearest_rank(&samples, p);
+        prop_assert!(
+            approx >= exact && approx <= exact.saturating_mul(2),
+            "p{}: bucketed {} vs exact {}", p, approx, exact
+        );
+    }
+
+    #[test]
+    fn merge_is_order_independent(
+        chunks in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..50),
+            1..6,
+        ),
+    ) {
+        let build = |order: &[usize]| {
+            let target = Histogram::with_exact_cap(usize::MAX);
+            for &i in order {
+                let part = Histogram::with_exact_cap(usize::MAX);
+                for &v in &chunks[i] {
+                    part.record(v);
+                }
+                target.merge_from(&part);
+            }
+            target
+        };
+        let forward = build(&(0..chunks.len()).collect::<Vec<_>>());
+        let backward = build(&(0..chunks.len()).rev().collect::<Vec<_>>());
+        let direct = Histogram::with_exact_cap(usize::MAX);
+        for chunk in &chunks {
+            for &v in chunk {
+                direct.record(v);
+            }
+        }
+        for h in [&forward, &backward] {
+            prop_assert_eq!(h.count(), direct.count());
+            prop_assert_eq!(h.sum(), direct.sum());
+            prop_assert_eq!(h.min(), direct.min());
+            prop_assert_eq!(h.max(), direct.max());
+            prop_assert_eq!(h.buckets(), direct.buckets());
+            for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+                prop_assert_eq!(h.quantile(p), direct.quantile(p));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_loss_free(
+        samples in prop::collection::vec(0u64..1 << 44, 1..400),
+    ) {
+        use rayon::prelude::*;
+        let h = Histogram::with_exact_cap(usize::MAX);
+        samples.par_iter().for_each(|&v| h.record(v));
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        // Whatever order the workers interleaved in, quantiles sort the
+        // sample set, so they must match the sequential reference.
+        for p in [50.0, 95.0, 99.0] {
+            prop_assert_eq!(h.quantile(p), reference_nearest_rank(&samples, p));
+        }
+    }
+
+    #[test]
+    fn per_worker_merge_matches_direct_recording(
+        chunks in prop::collection::vec(
+            prop::collection::vec(1u64..1_000_000, 1..40),
+            2..8,
+        ),
+    ) {
+        use rayon::prelude::*;
+        // The fold-worker-local-histograms-into-one pattern the span
+        // aggregates rely on: each worker records privately, then merges.
+        let target = Histogram::with_exact_cap(usize::MAX);
+        chunks.par_iter().for_each(|chunk| {
+            let local = Histogram::with_exact_cap(usize::MAX);
+            for &v in chunk {
+                local.record(v);
+            }
+            target.merge_from(&local);
+        });
+        let all: Vec<u64> = chunks.iter().flatten().copied().collect();
+        prop_assert_eq!(target.count(), all.len() as u64);
+        prop_assert_eq!(target.sum(), all.iter().sum::<u64>());
+        for p in [50.0, 95.0, 99.0] {
+            prop_assert_eq!(target.quantile(p), reference_nearest_rank(&all, p));
+        }
+    }
+
+    #[test]
+    fn span_depth_tracks_nesting_and_unwind(depth in 1usize..16, panic_at in 0usize..16) {
+        // The enabled flag is process-global; serialize the span tests.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        stgraph_repro::telemetry::set_enabled(true);
+
+        fn nest(remaining: usize, panic_at: Option<usize>) {
+            if remaining == 0 {
+                if panic_at.is_some() {
+                    panic!("unwind through the span stack");
+                }
+                return;
+            }
+            let before = current_depth();
+            let _s = span("prop.nest");
+            assert_eq!(current_depth(), before + 1);
+            nest(remaining - 1, panic_at);
+        }
+
+        // Clean nesting: depth returns to zero after the guards drop.
+        nest(depth, None);
+        prop_assert_eq!(current_depth(), 0);
+
+        // Panic at some depth: every live guard must close during unwind.
+        // (Silence the default hook's backtrace while we panic on purpose.)
+        let panic_depth = panic_at.min(depth);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(|| nest(panic_depth, Some(panic_depth)));
+        std::panic::set_hook(hook);
+        prop_assert!(result.is_err());
+        prop_assert_eq!(current_depth(), 0, "unwind must pop every span");
+
+        stgraph_repro::telemetry::set_enabled(false);
+    }
+}

@@ -1,7 +1,9 @@
 //! Offline stand-in for the `serde_json` crate: formats the vendored
-//! `serde::Value` tree as JSON. Only serialization is provided.
+//! `serde::Value` tree as JSON, and parses JSON text back into it
+//! (`from_str`) for tests that validate emitted documents.
 
-use serde::{Serialize, Value};
+use serde::Serialize;
+pub use serde::Value;
 
 /// Serialization error (the stand-in's serializers are infallible, but
 /// the upstream signature is kept).
@@ -15,6 +17,210 @@ impl std::fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`] tree. The target type is fixed
+/// to `Value` (the stand-in has no `Deserialize` machinery); the generic
+/// signature matches upstream so `serde_json::from_str::<Value>` and
+/// type-ascribed calls compile unchanged.
+pub fn from_str<T: From<Value>>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error);
+    }
+    Ok(T::from(v))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek().ok_or(Error)? {
+            b'n' => self.eat_lit("null").map(|_| Value::Null),
+            b't' => self.eat_lit("true").map(|_| Value::Bool(true)),
+            b'f' => self.eat_lit("false").map(|_| Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => Err(Error),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            entries.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or(Error)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or(Error)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5).ok_or(Error)?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| Error)?,
+                                16,
+                            )
+                            .map_err(|_| Error)?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's emitters; reject them.
+                            out.push(char::from_u32(code).ok_or(Error)?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| Error)?;
+                    let c = rest.chars().next().ok_or(Error)?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error)?;
+        if text.is_empty() || text == "-" {
+            return Err(Error);
+        }
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error)
+    }
+}
 
 /// Serializes `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -140,5 +346,37 @@ mod tests {
     fn floats_keep_decimal_point() {
         assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrips_serialized_tree() {
+        let v = Value::Obj(vec![
+            ("name".to_string(), Value::Str("a\"b\\c\nd".to_string())),
+            ("n".to_string(), Value::I64(-3)),
+            (
+                "xs".to_string(),
+                Value::Arr(vec![Value::U64(1), Value::F64(2.5), Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        let parsed: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(from_str::<Value>("{\"a\":").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn indexing_and_accessors() {
+        let doc: Value = from_str("{\"xs\":[{\"k\":\"v\",\"n\":7}]}").unwrap();
+        assert_eq!(doc["xs"][0]["k"], "v");
+        assert_eq!(doc["xs"][0]["n"].as_u64(), Some(7));
+        assert!(doc["missing"].is_null());
     }
 }
