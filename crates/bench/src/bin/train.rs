@@ -46,7 +46,12 @@ Options:
   --scale <n>             dynamic dataset size divisor (default 64)
   --lr <f>                Adam learning rate (default 0.01)
   --seed <n>              RNG seed (default 42)
-  --save <path>           write trained weights as an .stgc checkpoint
+  --save <path>           write trained weights as an .stgc checkpoint; a
+                          path without the .stgc extension is treated as a
+                          checkpoint *directory*: every epoch saves a
+                          rotated, sequence-numbered checkpoint there
+  --keep-checkpoints <n>  retained checkpoints when --save is a directory
+                          (default 3)
   --trace <path>          enable tracing and write a Chrome trace_event JSON
                           timeline there (chrome://tracing / Perfetto)
   --help                  this text";
@@ -101,15 +106,48 @@ fn make_cell(
     }
 }
 
-/// Writes the trained parameters (shared with the optimiser via `Rc`, so
-/// they reflect the final step) as an `.stgc` checkpoint.
-fn save_if_requested(params: &ParamSet, path: Option<&str>) {
-    let Some(path) = path else { return };
-    match stgraph_serve::save_model(path, params) {
-        Ok(()) => println!("saved checkpoint to {path}"),
-        Err(e) => {
-            eprintln!("failed to save checkpoint to {path}: {e}");
-            std::process::exit(1);
+/// Where `--save` writes checkpoints: a single `.stgc` file at the end of
+/// training, or (for a directory path) a rotated sequence with one
+/// checkpoint per epoch, pruned to `--keep-checkpoints`.
+enum Saver {
+    Disabled,
+    File(String),
+    Dir(stgraph_serve::CheckpointManager),
+}
+
+impl Saver {
+    fn from_args(path: Option<&str>, keep: usize) -> Saver {
+        match path {
+            None => Saver::Disabled,
+            Some(p) if p.ends_with(".stgc") => Saver::File(p.to_string()),
+            Some(p) => Saver::Dir(stgraph_serve::CheckpointManager::new(p, "model", keep)),
+        }
+    }
+
+    /// Per-epoch rotated save (directory mode only). Save faults are
+    /// retried inside the manager; a save that still fails only loses this
+    /// epoch's snapshot, never the training run.
+    fn epoch(&self, params: &ParamSet) {
+        if let Saver::Dir(mgr) = self {
+            if let Err(e) = mgr.save_model(params) {
+                eprintln!("epoch checkpoint failed (training continues): {e}");
+            }
+        }
+    }
+
+    /// Final save: the single file, or one last rotated sequence entry.
+    fn finish(&self, params: &ParamSet) {
+        let result = match self {
+            Saver::Disabled => return,
+            Saver::File(path) => stgraph_serve::save_model(path, params).map(|()| path.clone()),
+            Saver::Dir(mgr) => mgr.save_model(params).map(|p| p.display().to_string()),
+        };
+        match result {
+            Ok(path) => println!("saved checkpoint to {path}"),
+            Err(e) => {
+                eprintln!("failed to save checkpoint: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -153,6 +191,8 @@ fn main() {
     let lr = get(&args, "lr", 0.01f32);
     let seed = get(&args, "seed", 42u64);
     let save_path = args.get("save").cloned();
+    let keep = get(&args, "keep_checkpoints", 3usize);
+    let saver = Saver::from_args(save_path.as_deref(), keep);
     let trace_path = args.get("trace").cloned();
     if trace_path.is_some() {
         stgraph_telemetry::set_enabled(true);
@@ -199,12 +239,13 @@ fn main() {
                     seq_len,
                 );
                 println!("epoch {epoch:>3}: MSE {loss:.5}");
+                saver.epoch(&trained);
             }
             println!(
                 "trained {epochs} epochs in {:.2}s",
                 start.elapsed().as_secs_f32()
             );
-            save_if_requested(&trained, save_path.as_deref());
+            saver.finish(&trained);
         }
         "link" => {
             assert_eq!(
@@ -247,13 +288,14 @@ fn main() {
                 let loss =
                     train_epoch_link_prediction(&cell, &exec, &mut opt, &feats, &batches, seq_len);
                 println!("epoch {epoch:>3}: BCE {loss:.5}");
+                saver.epoch(&trained);
             }
             let (loss, auc, acc) = eval_link_prediction(&cell, &exec, &feats, &batches, seq_len);
             println!(
                 "trained {epochs} epochs in {:.2}s — eval BCE {loss:.4}, ROC-AUC {auc:.4}, accuracy {acc:.4}",
                 start.elapsed().as_secs_f32()
             );
-            save_if_requested(&trained, save_path.as_deref());
+            saver.finish(&trained);
         }
         _ => unreachable!(),
     }

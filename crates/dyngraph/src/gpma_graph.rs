@@ -71,8 +71,17 @@ impl GpmaGraph {
     }
 
     /// Relabels edges and materialises the snapshot for the current state.
+    ///
+    /// Carries the `snapshot.build` fault point: an injected failure here
+    /// models transient memory pressure during materialisation and is
+    /// retried with backoff. The build itself is pure compute with no real
+    /// failure mode, so if injection outlasts the retry budget the build
+    /// proceeds anyway — degraded latency, never a lost snapshot.
     fn build_snapshot(&mut self) -> Snapshot {
         let _sp = stgraph_telemetry::span_cat("snapshot.build", "snapshot");
+        let _ = stgraph_faultline::retry(&stgraph_faultline::RetryPolicy::default(), || {
+            stgraph_faultline::fault_point!("snapshot.build")
+        });
         let start = std::time::Instant::now();
         self.gpma.relabel_edges();
         let (csr, _in_deg) = self.gpma.csr_view();

@@ -1,0 +1,287 @@
+//! Fault plans: per-site rules deciding, deterministically, which hits of
+//! a fault point fail, stall, or pass.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// An injected failure, carrying where and when it fired. This is the
+/// error type every [`fault_point!`](crate::fault_point) site returns;
+/// recovery layers wrap it in their own typed errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The fault-point name that fired.
+    pub site: &'static str,
+    /// The 1-based hit count at which it fired.
+    pub hit: u64,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {} (hit {})", self.site, self.hit)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// The injection rule for one fault-point site. All conditions are
+/// evaluated per *hit* (the site's monotone invocation count); any one
+/// matching makes the hit fail. `delay_us` stalls every hit, failing or
+/// not — injected latency models slow I/O and contended locks.
+#[derive(Debug, Default)]
+pub struct SiteRule {
+    /// Fail exactly the n-th hit (1-based).
+    pub nth: Option<u64>,
+    /// Fail every k-th hit (hits k, 2k, 3k, ...).
+    pub every: Option<u64>,
+    /// Fail each hit with this probability, drawn from the plan's seeded
+    /// counter-based generator — deterministic for a given (seed, site,
+    /// hit) triple.
+    pub prob: Option<f64>,
+    /// Sleep this many microseconds at every hit.
+    pub delay_us: Option<u64>,
+    hits: AtomicU64,
+}
+
+impl SiteRule {
+    fn is_noop(&self) -> bool {
+        self.nth.is_none() && self.every.is_none() && self.prob.is_none() && self.delay_us.is_none()
+    }
+}
+
+/// What [`FaultPlan::decide`] resolved one hit to.
+pub(crate) struct Decision {
+    pub(crate) fail: Option<FaultError>,
+    pub(crate) delay: Option<Duration>,
+}
+
+/// A malformed `STGRAPH_FAULTS` string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending entry and what was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault plan: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// A seeded, deterministic map from fault-point sites to [`SiteRule`]s.
+/// Hit counters live inside the plan, so installing a fresh plan resets
+/// every site's count — each test starts from hit 1.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: HashMap<&'static str, SiteRule>,
+    /// Rules parsed from the environment (owned names).
+    env_rules: HashMap<String, SiteRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (every site passes).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Sets the seed for probabilistic rules.
+    pub fn seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Fails exactly the `n`-th hit (1-based) of `site`.
+    pub fn fail_nth(mut self, site: &'static str, n: u64) -> FaultPlan {
+        self.rule_mut(site).nth = Some(n.max(1));
+        self
+    }
+
+    /// Fails every `k`-th hit of `site`.
+    pub fn fail_every(mut self, site: &'static str, k: u64) -> FaultPlan {
+        self.rule_mut(site).every = Some(k.max(1));
+        self
+    }
+
+    /// Fails each hit of `site` with probability `p` (seeded).
+    pub fn fail_prob(mut self, site: &'static str, p: f64) -> FaultPlan {
+        self.rule_mut(site).prob = Some(p.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Sleeps `us` microseconds at every hit of `site`.
+    pub fn delay(mut self, site: &'static str, us: u64) -> FaultPlan {
+        self.rule_mut(site).delay_us = Some(us);
+        self
+    }
+
+    fn rule_mut(&mut self, site: &'static str) -> &mut SiteRule {
+        self.rules.entry(site).or_default()
+    }
+
+    /// Parses the `STGRAPH_FAULTS` syntax: comma-separated entries, each
+    /// `seed=N` or `site:key=val[;key=val...]`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            if let Some(seed) = entry.strip_prefix("seed=") {
+                plan.seed = seed.parse().map_err(|_| PlanParseError {
+                    message: format!("seed '{seed}' is not an integer"),
+                })?;
+                continue;
+            }
+            let (site, body) = entry.split_once(':').ok_or_else(|| PlanParseError {
+                message: format!("entry '{entry}' is neither seed=N nor site:key=val"),
+            })?;
+            let rule = plan.env_rules.entry(site.to_string()).or_default();
+            for kv in body.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+                let (key, val) = kv.split_once('=').ok_or_else(|| PlanParseError {
+                    message: format!("'{kv}' in '{entry}' is not key=val"),
+                })?;
+                let parse_u64 = |v: &str| {
+                    v.parse::<u64>().map_err(|_| PlanParseError {
+                        message: format!("'{val}' for '{key}' in '{entry}' is not an integer"),
+                    })
+                };
+                match key {
+                    "nth" => rule.nth = Some(parse_u64(val)?.max(1)),
+                    "every" => rule.every = Some(parse_u64(val)?.max(1)),
+                    "delay_us" => rule.delay_us = Some(parse_u64(val)?),
+                    "prob" => {
+                        let p: f64 = val.parse().map_err(|_| PlanParseError {
+                            message: format!("'{val}' for prob in '{entry}' is not a number"),
+                        })?;
+                        rule.prob = Some(p.clamp(0.0, 1.0));
+                    }
+                    other => {
+                        return Err(PlanParseError {
+                            message: format!("unknown key '{other}' in '{entry}'"),
+                        })
+                    }
+                }
+            }
+            if rule.is_noop() {
+                return Err(PlanParseError {
+                    message: format!("entry '{entry}' configures nothing"),
+                });
+            }
+        }
+        Ok(plan)
+    }
+
+    fn rule_for(&self, site: &str) -> Option<&SiteRule> {
+        self.rules.get(site).or_else(|| self.env_rules.get(site))
+    }
+
+    /// Resolves one hit of `site` against this plan. Bumps the site's hit
+    /// counter whether or not anything fires, so `nth`/`every` count real
+    /// invocations.
+    pub(crate) fn decide(&self, site: &'static str) -> Decision {
+        let Some(rule) = self.rule_for(site) else {
+            return Decision {
+                fail: None,
+                delay: None,
+            };
+        };
+        let hit = rule.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut fail = false;
+        if let Some(n) = rule.nth {
+            fail |= hit == n;
+        }
+        if let Some(k) = rule.every {
+            fail |= hit % k == 0;
+        }
+        if let Some(p) = rule.prob {
+            fail |= unit_draw(self.seed, site, hit) < p;
+        }
+        Decision {
+            fail: fail.then_some(FaultError { site, hit }),
+            delay: rule.delay_us.map(Duration::from_micros),
+        }
+    }
+}
+
+/// Deterministic uniform draw in `[0, 1)` from a (seed, site, hit) triple:
+/// FNV-1a over the site name mixed with the hit counter, finished with
+/// splitmix64. Counter-based, so concurrent sites never perturb each
+/// other's sequences.
+fn unit_draw(seed: u64, site: &str, hit: u64) -> f64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mixed = splitmix64(seed ^ h ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Top 53 bits → uniform f64 in [0, 1).
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single_site() {
+        let plan = FaultPlan::parse("ingest.apply:every=7").unwrap();
+        let rule = plan.env_rules.get("ingest.apply").unwrap();
+        assert_eq!(rule.every, Some(7));
+        assert_eq!(rule.nth, None);
+    }
+
+    #[test]
+    fn parse_multi_site_with_seed() {
+        let plan = FaultPlan::parse(
+            "checkpoint.write:nth=2,engine.dequeue:delay_us=500;prob=0.25,seed=42",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.env_rules.get("checkpoint.write").unwrap().nth, Some(2));
+        let dq = plan.env_rules.get("engine.dequeue").unwrap();
+        assert_eq!(dq.delay_us, Some(500));
+        assert_eq!(dq.prob, Some(0.25));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(FaultPlan::parse("justasite").is_err());
+        assert!(FaultPlan::parse("site:novalue").is_err());
+        assert!(FaultPlan::parse("site:bogus=1").is_err());
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+        assert!(FaultPlan::parse("site:nth=x").is_err());
+        assert!(FaultPlan::parse("site:").is_err(), "empty rule");
+    }
+
+    #[test]
+    fn parse_ignores_empty_entries() {
+        let plan = FaultPlan::parse("a.b:nth=1,, c.d:every=2 ,").unwrap();
+        assert_eq!(plan.env_rules.len(), 2);
+    }
+
+    #[test]
+    fn unit_draw_is_deterministic_and_uniformish() {
+        let a = unit_draw(1, "x", 1);
+        assert_eq!(a, unit_draw(1, "x", 1));
+        assert_ne!(a, unit_draw(2, "x", 1));
+        assert_ne!(a, unit_draw(1, "y", 1));
+        assert_ne!(a, unit_draw(1, "x", 2));
+        let n = 4096;
+        let mean: f64 = (0..n).map(|i| unit_draw(9, "m", i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn decide_counts_hits_per_site() {
+        let plan = FaultPlan::new().fail_nth("a", 2).fail_nth("b", 1);
+        assert!(plan.decide("a").fail.is_none());
+        assert!(plan.decide("b").fail.is_some(), "b's counter is separate");
+        assert!(plan.decide("a").fail.is_some(), "a fails on its 2nd hit");
+    }
+}

@@ -1,0 +1,112 @@
+//! Retry with capped exponential backoff — the shared recovery loop for
+//! ingest application and checkpoint writes.
+
+use std::time::Duration;
+
+/// Backoff parameters for [`retry`]. The defaults (5 attempts, 200 µs
+/// base, ×2 growth, 10 ms cap) recover from any `every=k` or `nth=n`
+/// injected-fault schedule with `k, n ≤ 5` while adding at most a few
+/// milliseconds to a worst-case sequence — small enough that running the
+/// whole test suite under `STGRAPH_FAULTS` stays fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt.
+    pub base_delay: Duration,
+    /// Multiplier applied to the delay after each failed attempt.
+    pub factor: u32,
+    /// Ceiling on any single sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(200),
+            factor: 2,
+            max_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before attempt `attempt + 1` (0-based failed attempt).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let mult = self.factor.saturating_pow(attempt);
+        (self.base_delay * mult).min(self.max_delay)
+    }
+}
+
+/// Runs `op` until it succeeds or `policy.max_attempts` is exhausted,
+/// sleeping the policy's backoff between attempts. Every attempt after the
+/// first bumps the `faults.retries` telemetry counter. Returns the last
+/// error when all attempts fail.
+pub fn retry<T, E>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T, E>) -> Result<T, E> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            crate::counters().retries.inc();
+            std::thread::sleep(policy.delay_for(attempt - 1));
+        }
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_first_try_without_retrying() {
+        let before = crate::retry_count();
+        let r: Result<u32, ()> = retry(&RetryPolicy::default(), || Ok(7));
+        assert_eq!(r, Ok(7));
+        assert_eq!(crate::retry_count(), before, "no retry counted");
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let mut calls = 0;
+        let r: Result<u32, &str> = retry(&RetryPolicy::default(), || {
+            calls += 1;
+            if calls < 3 {
+                Err("transient")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r, Ok(3));
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts_with_last_error() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(1),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let r: Result<(), u32> = retry(&policy, || {
+            calls += 1;
+            Err(calls)
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(r, Err(3), "last error wins");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_for(0), Duration::from_micros(200));
+        assert_eq!(p.delay_for(1), Duration::from_micros(400));
+        assert_eq!(p.delay_for(2), Duration::from_micros(800));
+        assert_eq!(p.delay_for(30), Duration::from_millis(10), "capped");
+    }
+}

@@ -95,6 +95,30 @@ impl Gpma {
         self.pma.delete_batch(&keys);
     }
 
+    /// [`Gpma::insert_edges`] behind the `gpma.update` fault point: an
+    /// injected fault fails the call *before* any mutation, so the
+    /// structure is untouched on `Err`. Recovery layers (serve ingest)
+    /// build batch rollback on this guarantee.
+    pub fn try_insert_edges(
+        &mut self,
+        edges: &[(u32, u32)],
+    ) -> Result<(), stgraph_faultline::FaultError> {
+        stgraph_faultline::fault_point!("gpma.update")?;
+        self.insert_edges(edges);
+        Ok(())
+    }
+
+    /// [`Gpma::delete_edges`] behind the `gpma.update` fault point; same
+    /// untouched-on-`Err` contract as [`Gpma::try_insert_edges`].
+    pub fn try_delete_edges(
+        &mut self,
+        edges: &[(u32, u32)],
+    ) -> Result<(), stgraph_faultline::FaultError> {
+        stgraph_faultline::fault_point!("gpma.update")?;
+        self.delete_edges(edges);
+        Ok(())
+    }
+
     /// Reassigns edge ids `0..m` in sorted slot order — the relabelling step
     /// required after structural updates so forward and backward CSRs agree
     /// on labels (§V.B item 3, Algorithm 2 line 8). Returns the edge count.

@@ -20,16 +20,21 @@ use stgraph::tgnn::{GConvGru, GConvLstm, RecurrentCell, Tgcn};
 use stgraph::tgnn_ext::Dcrnn;
 use stgraph_datasets::{info, load_dynamic, GraphKind};
 use stgraph_dyngraph::DtdgSource;
-use stgraph_serve::engine::{InferenceEngine, RequestQueue, ServeConfig, Ticket};
+use stgraph_serve::engine::{InferenceEngine, RequestQueue, ServeConfig, ServeError, Ticket};
 use stgraph_serve::ingest::LiveGraph;
-use stgraph_serve::{load_into, CheckpointError};
+use stgraph_serve::{load_into, CheckpointError, CheckpointManager, QueryResponse};
 use stgraph_tensor::nn::ParamSet;
 use stgraph_tensor::Tensor;
 
 const HELP: &str = "stgraph-serve — serve a trained TGNN over a live update stream
 
 Options:
-  --load <path>           .stgc checkpoint to serve (required)
+  --load <path>           .stgc checkpoint to serve, or a checkpoint
+                          directory written by train --save <dir>: the
+                          newest valid checkpoint is loaded, rolling back
+                          over corrupt files (required)
+  --keep-checkpoints <n>  when --load is a directory, prune it to the
+                          newest n checkpoints after loading (default 3)
   --dataset <name|code>   dynamic dataset for the update stream (default MO)
   --model <tgcn|gconvgru|gconvlstm|dcrnn>   cell architecture (default tgcn)
   --features <n>          feature size, must match training (default 8)
@@ -40,14 +45,24 @@ Options:
   --queries <n>           total queries across the stream (default 1000)
   --max-batch <n>         micro-batch cap (default 256 / STGRAPH_SERVE_MAX_BATCH)
   --flush-us <n>          batch linger in microseconds (default 2000 / STGRAPH_SERVE_FLUSH_US)
-  --queue-cap <n>         request queue bound (default 1024 / STGRAPH_SERVE_QUEUE_CAP)
+  --queue-cap <n>         request queue bound; queries beyond it are shed
+                          with a typed Overloaded error rather than
+                          blocking (default 1024 / STGRAPH_SERVE_QUEUE_CAP)
+  --deadline-ms <n>       per-request deadline: queries queued longer than
+                          this fail with DeadlineExceeded instead of being
+                          answered stale (default off / STGRAPH_SERVE_DEADLINE_MS)
   --seed <n>              RNG seed, must match training (default 42)
   --verify                check served values bitwise against a direct replay
   --trace <path>          enable tracing and write a Chrome trace_event JSON
                           timeline there (chrome://tracing / Perfetto)
   --metrics <path>        write a Prometheus text-exposition snapshot of all
                           counters/gauges/histograms at exit
-  --help                  this text";
+  --help                  this text
+
+Fault injection: set STGRAPH_FAULTS (e.g. 'ingest.apply:every=7,seed=42')
+to inject deterministic faults at the checkpoint.write/rename, gpma.update,
+ingest.apply, snapshot.build, pool.alloc and engine.dequeue sites; the
+resilience report line shows recovery activity.";
 
 fn parse_args() -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -104,7 +119,10 @@ fn make_cell(
 }
 
 /// Builds `(cell, features)` with the training binary's exact RNG draw
-/// order, then overwrites the parameters from the checkpoint.
+/// order, then overwrites the parameters from the checkpoint. `path` may
+/// be a single `.stgc` file or a checkpoint directory — for a directory
+/// the newest valid checkpoint wins, rolling back over corrupt files, and
+/// the directory is pruned to `keep`.
 fn load_model(
     path: &str,
     model: &str,
@@ -112,12 +130,20 @@ fn load_model(
     hidden: usize,
     num_nodes: usize,
     seed: u64,
+    keep: usize,
 ) -> Result<(Box<dyn RecurrentCell>, Tensor), CheckpointError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut params = ParamSet::new();
     let cell = make_cell(model, &mut params, features, hidden, &mut rng);
     let feats = Tensor::rand_uniform((num_nodes, features), -1.0, 1.0, &mut rng);
-    load_into(path, &params)?;
+    if std::fs::metadata(path).map(|m| m.is_dir()).unwrap_or(false) {
+        let mgr = CheckpointManager::new(path, "model", keep);
+        let seq = mgr.load_latest_into(&params)?;
+        mgr.prune()?;
+        println!("checkpoint: sequence {seq} from {path}/ (keep {keep})");
+    } else {
+        load_into(path, &params)?;
+    }
     Ok((cell, feats))
 }
 
@@ -165,6 +191,14 @@ fn main() {
         config.flush_interval.as_micros() as u64,
     ));
     config.queue_capacity = get(&args, "queue_cap", config.queue_capacity).max(1);
+    if let Some(ms) = args.get("deadline_ms") {
+        let ms: u64 = ms.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --deadline-ms: '{ms}'");
+            std::process::exit(2);
+        });
+        config.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    let keep = get(&args, "keep_checkpoints", 3usize).max(1);
 
     let raw = load_dynamic(meta.name, scale);
     let mut src = DtdgSource::from_temporal_edges(raw.num_nodes, &raw.edges, pct);
@@ -177,8 +211,15 @@ fn main() {
         src.mean_pct_change()
     );
 
-    let (cell, feats) = match load_model(&load_path, &model, features, hidden, src.num_nodes, seed)
-    {
+    let (cell, feats) = match load_model(
+        &load_path,
+        &model,
+        features,
+        hidden,
+        src.num_nodes,
+        seed,
+        keep,
+    ) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("failed to load '{load_path}': {e}");
@@ -194,27 +235,48 @@ fn main() {
     let diffs = src.diffs();
 
     let start = std::time::Instant::now();
-    let responses = std::thread::scope(|scope| {
+    let (responses, failed) = std::thread::scope(|scope| {
         let producer = scope.spawn(|| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5e57e);
-            let mut responses = Vec::new();
+            let mut responses: Vec<QueryResponse> = Vec::new();
+            let mut failed: Vec<ServeError> = Vec::new();
             #[allow(clippy::needless_range_loop)] // g is a generation, not just an index
             for g in 0..generations {
                 let tickets: Vec<Ticket> = (0..per_gen)
-                    .map(|_| queue.submit(rng.gen_range(0..src.num_nodes as u32)))
+                    .filter_map(
+                        |_| match queue.submit(rng.gen_range(0..src.num_nodes as u32)) {
+                            Ok(t) => Some(t),
+                            Err(e) => {
+                                // Shed at submit time — degraded, not dead.
+                                failed.push(e);
+                                None
+                            }
+                        },
+                    )
                     .collect();
-                responses.extend(tickets.into_iter().map(Ticket::wait));
+                for t in tickets {
+                    match t.wait() {
+                        Ok(resp) => responses.push(resp),
+                        Err(e) => failed.push(e),
+                    }
+                }
                 if g < generations - 1 {
                     queue.advance(diffs[g].clone());
                 }
             }
             queue.close();
-            responses
+            (responses, failed)
         });
         engine.run(&queue, &config);
         producer.join().unwrap()
     });
     let elapsed = start.elapsed();
+    if !failed.is_empty() {
+        println!(
+            "degraded: {} queries failed with typed errors",
+            failed.len()
+        );
+    }
 
     let report = engine.report(elapsed);
     print!("{report}");
@@ -239,9 +301,16 @@ fn main() {
     }
 
     if verify {
-        let (direct_cell, direct_feats) =
-            load_model(&load_path, &model, features, hidden, src.num_nodes, seed)
-                .expect("checkpoint reloaded for verification");
+        let (direct_cell, direct_feats) = load_model(
+            &load_path,
+            &model,
+            features,
+            hidden,
+            src.num_nodes,
+            seed,
+            keep,
+        )
+        .expect("checkpoint reloaded for verification");
         let expected = direct_chain(&src, &direct_feats, direct_cell.as_ref());
         let mut mismatches = 0usize;
         for resp in &responses {

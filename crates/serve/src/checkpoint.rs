@@ -60,6 +60,15 @@ pub enum CheckpointError {
     Malformed(String),
     /// The checkpoint parsed, but does not fit the target model.
     State(StateDictError),
+    /// An injected fault (`checkpoint.write` / `checkpoint.rename`)
+    /// interrupted the save; the destination path is untouched.
+    Injected(stgraph_faultline::FaultError),
+    /// No loadable checkpoint in a manager's directory (empty, or every
+    /// candidate failed validation — see `CheckpointManager::load_latest`).
+    NoValidCheckpoint {
+        /// Files that were tried and rejected, newest first.
+        rejected: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -84,6 +93,13 @@ impl std::fmt::Display for CheckpointError {
             ),
             CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
             CheckpointError::State(e) => write!(f, "checkpoint does not fit model: {e}"),
+            CheckpointError::Injected(e) => write!(f, "checkpoint save interrupted: {e}"),
+            CheckpointError::NoValidCheckpoint { rejected } => {
+                write!(
+                    f,
+                    "no valid checkpoint found ({rejected} candidates rejected)"
+                )
+            }
         }
     }
 }
@@ -275,6 +291,14 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<StateEntry>, CheckpointError> {
 /// Writes `entries` to `path` as a `.stgc` checkpoint. The file is written
 /// to a temporary sibling and renamed into place so a crash mid-write never
 /// leaves a half-written checkpoint at `path`.
+///
+/// Two fault points model the crash windows the tmp+rename protocol
+/// defends against: `checkpoint.write` (the process dies mid-`write_all`
+/// — the tmp file is left *torn*, holding only a prefix of the bytes) and
+/// `checkpoint.rename` (the process dies after the write but before the
+/// rename — the tmp file is complete but never published). In both cases
+/// `path` itself is untouched, which is exactly the atomicity claim the
+/// chaos suite asserts.
 pub fn save_checkpoint(
     path: impl AsRef<Path>,
     entries: &[StateEntry],
@@ -282,10 +306,18 @@ pub fn save_checkpoint(
     let path = path.as_ref();
     let bytes = encode(entries);
     let tmp = path.with_extension("stgc.tmp");
+    if let Err(e) = stgraph_faultline::fault_point!("checkpoint.write") {
+        // Simulate the torn write: half the bytes land, then the "crash".
+        let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        return Err(CheckpointError::Injected(e));
+    }
     {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(&bytes)?;
         f.sync_all()?;
+    }
+    if let Err(e) = stgraph_faultline::fault_point!("checkpoint.rename") {
+        return Err(CheckpointError::Injected(e));
     }
     std::fs::rename(&tmp, path)?;
     Ok(())

@@ -14,12 +14,30 @@
 //! embeddings served at generation `g` are bit-identical to a direct replay
 //! `h_g = cell(x, A_g, h_{g-1})` — the property the `serve --verify` flag
 //! checks end to end.
+//!
+//! ## Degradation, not death
+//!
+//! Overload and failure produce typed [`ServeError`]s, never hangs:
+//!
+//! * a full queue **sheds** — [`RequestQueue::submit`] returns
+//!   [`ServeError::Overloaded`] immediately instead of blocking (advance
+//!   events still block: update batches are the stream's ground truth and
+//!   are never dropped);
+//! * a query older than [`ServeConfig::deadline`] when its batch is
+//!   answered gets [`ServeError::DeadlineExceeded`] instead of a stale
+//!   wait;
+//! * a panic inside the batched forward is caught, every affected slot is
+//!   failed with [`ServeError::Internal`], and the engine keeps serving —
+//!   all queue/slot locks recover from poisoning, so one bad batch can
+//!   never hang later callers.
 
 use crate::ingest::LiveGraph;
 use crate::stats::{LatencyRecorder, ServeReport};
 use rayon::prelude::*;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 use stgraph::backend::create_backend;
 use stgraph::executor::{GraphSource, TemporalExecutor};
@@ -27,9 +45,52 @@ use stgraph::tgnn::RecurrentCell;
 use stgraph_dyngraph::source::UpdateBatch;
 use stgraph_tensor::{Tape, Tensor};
 
+/// Locks recover from poisoning: a panic while holding a queue or slot
+/// lock must degrade that one request, not wedge every later caller.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a query was not answered. Every failure mode a producer can see is
+/// typed here — the engine never panics a caller and never leaves a ticket
+/// hanging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue was full; the query was shed at submit time.
+    Overloaded,
+    /// The query waited longer than [`ServeConfig::deadline`] before its
+    /// batch ran; answering it would serve data staler than the caller
+    /// accepts.
+    DeadlineExceeded {
+        /// How long the query had been queued when it was expired.
+        waited: Duration,
+    },
+    /// The queue was closed before (or while) the query was submitted.
+    Closed,
+    /// The batched forward panicked; the engine recovered but this query's
+    /// answer was lost.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "queue full: query shed"),
+            ServeError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after {waited:?}")
+            }
+            ServeError::Closed => write!(f, "request queue closed"),
+            ServeError::Internal(what) => write!(f, "engine error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// Engine knobs. Each field has an environment override so deployments can
 /// tune without rebuilding: `STGRAPH_SERVE_MAX_BATCH`,
-/// `STGRAPH_SERVE_FLUSH_US`, `STGRAPH_SERVE_QUEUE_CAP`.
+/// `STGRAPH_SERVE_FLUSH_US`, `STGRAPH_SERVE_QUEUE_CAP`,
+/// `STGRAPH_SERVE_DEADLINE_MS`.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Most queries coalesced into one batched forward (default 256).
@@ -37,8 +98,12 @@ pub struct ServeConfig {
     /// How long the engine lingers for stragglers after the first query of
     /// a batch arrives (default 2 ms).
     pub flush_interval: Duration,
-    /// Bounded queue depth; producers block when full (default 1024).
+    /// Bounded queue depth; queries beyond it are shed (default 1024).
     pub queue_capacity: usize,
+    /// Per-request deadline: queries queued longer than this when their
+    /// batch is answered fail with [`ServeError::DeadlineExceeded`].
+    /// `None` (the default) disables expiry.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +112,7 @@ impl Default for ServeConfig {
             max_batch: 256,
             flush_interval: Duration::from_millis(2),
             queue_capacity: 1024,
+            deadline: None,
         }
     }
 }
@@ -68,6 +134,10 @@ impl ServeConfig {
                 d.flush_interval.as_micros() as u64,
             )),
             queue_capacity: read("STGRAPH_SERVE_QUEUE_CAP", d.queue_capacity).max(1),
+            deadline: std::env::var("STGRAPH_SERVE_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_millis),
         }
     }
 }
@@ -85,34 +155,49 @@ pub struct QueryResponse {
     pub latency: Duration,
 }
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub(crate) struct Slot {
-    inner: Mutex<Option<QueryResponse>>,
+    inner: Mutex<Option<Result<QueryResponse, ServeError>>>,
     ready: Condvar,
 }
 
 impl Slot {
-    fn fill(&self, resp: QueryResponse) {
-        *self.inner.lock().unwrap() = Some(resp);
+    /// First write wins: a slot already resolved (answered, expired, or
+    /// failed) ignores later fills, so a panic-recovery blanket fill can
+    /// never clobber a real answer.
+    fn fill(&self, resp: Result<QueryResponse, ServeError>) {
+        let mut guard = relock(&self.inner);
+        if guard.is_none() {
+            *guard = Some(resp);
+        }
+        drop(guard);
         self.ready.notify_all();
     }
 }
 
 /// A claim on a future [`QueryResponse`], returned by
 /// [`RequestQueue::submit`].
+#[derive(Debug)]
 pub struct Ticket {
     slot: Arc<Slot>,
 }
 
 impl Ticket {
-    /// Blocks until the engine answers this query.
-    pub fn wait(self) -> QueryResponse {
-        let mut guard = self.slot.inner.lock().unwrap();
+    /// Blocks until the engine resolves this query — an answer, a deadline
+    /// expiry, or an internal failure. Never hangs: the engine guarantees
+    /// every accepted query's slot is eventually filled, even when the
+    /// batch that carried it panicked.
+    pub fn wait(self) -> Result<QueryResponse, ServeError> {
+        let mut guard = relock(&self.slot.inner);
         loop {
             if let Some(resp) = guard.take() {
                 return resp;
             }
-            guard = self.slot.ready.wait(guard).unwrap();
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -138,6 +223,7 @@ pub struct RequestQueue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    shed: AtomicU64,
 }
 
 pub(crate) struct Drained {
@@ -157,49 +243,95 @@ impl RequestQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            shed: AtomicU64::new(0),
         }
     }
 
-    fn push(&self, item: WorkItem) {
-        let mut st = self.state.lock().unwrap();
+    /// Blocking push, used for advance events only (ground truth: never
+    /// shed). Panics if the queue is already closed — producers own the
+    /// close and must not race it against their own advances.
+    fn push_blocking(&self, item: WorkItem) {
+        let mut st = relock(&self.state);
         while st.items.len() >= self.capacity && !st.closed {
-            st = self.not_full.wait(st).unwrap();
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
-        assert!(!st.closed, "submit on a closed RequestQueue");
+        assert!(!st.closed, "advance on a closed RequestQueue");
         st.items.push_back(item);
         drop(st);
         self.not_empty.notify_one();
     }
 
-    /// Enqueues a node query; blocks while the queue is full. Latency is
-    /// measured from this call, so queueing delay counts.
-    pub fn submit(&self, node: u32) -> Ticket {
+    /// Enqueues a node query. Load-shedding, not blocking: a full queue
+    /// returns [`ServeError::Overloaded`] immediately (and counts the shed
+    /// in `serve.requests_shed`), a closed queue returns
+    /// [`ServeError::Closed`]. Latency is measured from this call, so
+    /// queueing delay counts.
+    pub fn submit(&self, node: u32) -> Result<Ticket, ServeError> {
         let submitted = Instant::now();
         let slot = Arc::new(Slot::default());
-        self.push(WorkItem::Query((node, Arc::clone(&slot), submitted)));
-        Ticket { slot }
+        {
+            let mut st = relock(&self.state);
+            if st.closed {
+                return Err(ServeError::Closed);
+            }
+            if st.items.len() >= self.capacity {
+                drop(st);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                stgraph_telemetry::counter("serve.requests_shed").inc();
+                return Err(ServeError::Overloaded);
+            }
+            st.items
+                .push_back(WorkItem::Query((node, Arc::clone(&slot), submitted)));
+        }
+        self.not_empty.notify_one();
+        Ok(Ticket { slot })
     }
 
     /// Enqueues a stream advance: the engine applies the batch to its live
-    /// graph after answering everything submitted before this call.
+    /// graph after answering everything submitted before this call. Blocks
+    /// while the queue is full — update batches are never shed.
     pub fn advance(&self, batch: UpdateBatch) {
-        self.push(WorkItem::Advance(batch));
+        self.push_blocking(WorkItem::Advance(batch));
     }
 
     /// Marks the stream finished; the engine exits once the queue drains.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        relock(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Queries shed at submit time since this queue was created.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Engine side: blocks for the first item, then lingers up to `flush`
     /// (or until `max` queries) coalescing stragglers. Stops early at an
     /// advance event so generations never mix within a batch.
+    ///
+    /// Carries the `engine.dequeue` fault point: injected latency models a
+    /// slow engine thread (queries age toward their deadline), and an
+    /// injected failure turns this call into a spurious empty wake-up —
+    /// the run loop just drains again.
     pub(crate) fn drain(&self, max: usize, flush: Duration) -> Drained {
-        let mut st = self.state.lock().unwrap();
+        if stgraph_faultline::fault_point!("engine.dequeue").is_err() {
+            let st = relock(&self.state);
+            return Drained {
+                queries: Vec::new(),
+                advance: None,
+                closed: st.closed && st.items.is_empty(),
+            };
+        }
+        let mut st = relock(&self.state);
         while st.items.is_empty() && !st.closed {
-            st = self.not_empty.wait(st).unwrap();
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         let mut queries = Vec::new();
         let mut advance = None;
@@ -220,7 +352,10 @@ impl RequestQueue {
                 if now >= deadline {
                     break;
                 }
-                let (guard, timeout) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+                let (guard, timeout) = self
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 st = guard;
                 if timeout.timed_out() && st.items.is_empty() {
                     break;
@@ -254,6 +389,9 @@ pub struct InferenceEngine {
     queries: u64,
     batches: u64,
     forwards: u64,
+    expired: u64,
+    panics: u64,
+    shed_seen: u64,
 }
 
 impl InferenceEngine {
@@ -281,6 +419,9 @@ impl InferenceEngine {
             queries: 0,
             batches: 0,
             forwards: 0,
+            expired: 0,
+            panics: 0,
+            shed_seen: 0,
         }
     }
 
@@ -314,10 +455,51 @@ impl InferenceEngine {
         (g, emb)
     }
 
-    /// Answers one coalesced micro-batch with a single gather over the
-    /// generation's embeddings, filling response slots in parallel.
-    fn answer(&mut self, batch: Vec<PendingQuery>) {
+    /// Answers one coalesced micro-batch: expires overdue queries, runs a
+    /// single gather over the generation's embeddings for the rest, and
+    /// fills response slots in parallel. A panic anywhere inside is caught
+    /// and converted into [`ServeError::Internal`] on every still-pending
+    /// slot — the engine outlives its worst batch.
+    fn answer(&mut self, batch: Vec<PendingQuery>, deadline: Option<Duration>) {
         let _sp = stgraph_telemetry::span_cat("serve.answer", "serve");
+        // Expire queries that have already waited past the deadline; the
+        // remainder get answered fresh.
+        let (live, overdue): (Vec<PendingQuery>, Vec<PendingQuery>) = match deadline {
+            Some(d) => {
+                let now = Instant::now();
+                batch
+                    .into_iter()
+                    .partition(|(_, _, submitted)| now.saturating_duration_since(*submitted) <= d)
+            }
+            None => (batch, Vec::new()),
+        };
+        if !overdue.is_empty() {
+            self.expired += overdue.len() as u64;
+            stgraph_telemetry::counter("serve.deadline_expired").add(overdue.len() as u64);
+            let now = Instant::now();
+            for (_, slot, submitted) in &overdue {
+                slot.fill(Err(ServeError::DeadlineExceeded {
+                    waited: now.saturating_duration_since(*submitted),
+                }));
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.answer_inner(&live)));
+        if let Err(panic) = outcome {
+            let what = panic_message(&panic);
+            self.panics += 1;
+            stgraph_telemetry::counter("serve.forward_panics").inc();
+            // Blanket-fail whatever the panic left unanswered; first-write-
+            // wins on the slot keeps already-delivered answers intact.
+            for (_, slot, _) in &live {
+                slot.fill(Err(ServeError::Internal(what.clone())));
+            }
+        }
+    }
+
+    fn answer_inner(&mut self, batch: &[PendingQuery]) {
         let (generation, emb) = self.ensure_forward();
         let idx: Vec<u32> = batch.iter().map(|(n, _, _)| *n).collect();
         let rows = emb.gather_rows(&idx);
@@ -328,17 +510,17 @@ impl InferenceEngine {
             .par_iter()
             .enumerate()
             .for_each(|(i, (node, slot, submitted))| {
-                slot.fill(QueryResponse {
+                slot.fill(Ok(QueryResponse {
                     node: *node,
                     values: data[i * width..(i + 1) * width].to_vec(),
                     generation,
                     latency: done.saturating_duration_since(*submitted),
-                });
+                }));
             });
         // The registry copy feeds the Prometheus exposition; the engine's
         // own recorder (unbounded exact reservoir) produces the report.
         let registry = stgraph_telemetry::histogram("serve.latency_ns");
-        for (_, _, submitted) in &batch {
+        for (_, _, submitted) in batch {
             let latency = done.saturating_duration_since(*submitted);
             self.latencies.record(latency);
             registry.record_duration(latency);
@@ -350,12 +532,13 @@ impl InferenceEngine {
     /// Serves until the queue is closed and drained. Each advance event
     /// first pins the outgoing generation's recurrent step (so the hidden
     /// chain covers every generation, queried or not), then applies the
-    /// update batch.
+    /// update batch (which retries injected faults with backoff inside
+    /// [`LiveGraph::apply`]).
     pub fn run(&mut self, queue: &RequestQueue, config: &ServeConfig) {
         loop {
             let drained = queue.drain(config.max_batch, config.flush_interval);
             if !drained.queries.is_empty() {
-                self.answer(drained.queries);
+                self.answer(drained.queries, config.deadline);
             }
             if let Some(batch) = drained.advance {
                 self.ensure_forward();
@@ -363,12 +546,14 @@ impl InferenceEngine {
                 self.live.apply(&batch);
             }
             if drained.closed {
+                self.shed_seen = queue.shed();
                 break;
             }
         }
     }
 
-    /// The run's report (percentiles, throughput, ingest + pool + mem).
+    /// The run's report (percentiles, throughput, ingest + pool + mem +
+    /// resilience counters).
     pub fn report(&mut self, elapsed: Duration) -> ServeReport {
         ServeReport {
             queries: self.queries,
@@ -383,7 +568,21 @@ impl InferenceEngine {
             ingest: self.live.stats(),
             pool: stgraph_tensor::pool::stats(),
             mem: stgraph_tensor::mem::all_stats(),
+            shed: self.shed_seen,
+            expired: self.expired,
+            panics: self.panics,
+            faults_injected: stgraph_faultline::injected_count(),
         }
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("forward panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("forward panicked: {s}")
+    } else {
+        "forward panicked".to_string()
     }
 }
 
@@ -394,6 +593,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
     use stgraph::tgnn::Tgcn;
     use stgraph_dyngraph::source::DtdgSource;
+    use stgraph_tensor::autograd::Var;
     use stgraph_tensor::nn::ParamSet;
 
     fn setup() -> (DtdgSource, Tensor, ParamSet, Tgcn) {
@@ -450,8 +650,8 @@ mod tests {
             let producer = scope.spawn(|| {
                 let mut responses = Vec::new();
                 for g in 0..3u64 {
-                    let tickets: Vec<Ticket> = (0..6).map(|n| queue.submit(n)).collect();
-                    responses.extend(tickets.into_iter().map(Ticket::wait));
+                    let tickets: Vec<Ticket> = (0..6).map(|n| queue.submit(n).unwrap()).collect();
+                    responses.extend(tickets.into_iter().map(|t| t.wait().unwrap()));
                     if g < 2 {
                         queue.advance(diffs[g as usize].clone());
                     }
@@ -476,6 +676,8 @@ mod tests {
         assert_eq!(report.forwards, 3, "one forward per generation");
         assert_eq!(report.generation, 2);
         assert!(report.p99 >= report.p50);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.expired, 0);
     }
 
     #[test]
@@ -487,13 +689,13 @@ mod tests {
         let config = ServeConfig {
             max_batch: 64,
             flush_interval: Duration::from_millis(20),
-            queue_capacity: 256,
+            ..ServeConfig::default()
         };
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                let tickets: Vec<Ticket> = (0..48).map(|i| queue.submit(i % 6)).collect();
+                let tickets: Vec<Ticket> = (0..48).map(|i| queue.submit(i % 6).unwrap()).collect();
                 for t in tickets {
-                    t.wait();
+                    t.wait().unwrap();
                 }
                 queue.close();
             });
@@ -523,8 +725,8 @@ mod tests {
                 // No queries at generation 0 or 1 — only at the last one.
                 queue.advance(diffs[0].clone());
                 queue.advance(diffs[1].clone());
-                let t = queue.submit(2);
-                let resp = t.wait();
+                let t = queue.submit(2).unwrap();
+                let resp = t.wait().unwrap();
                 queue.close();
                 resp
             });
@@ -544,5 +746,120 @@ mod tests {
         let c = ServeConfig::from_env();
         assert!(c.max_batch >= 1);
         assert!(c.queue_capacity >= 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        // No engine thread at all: if submit blocked on a full queue this
+        // test would deadlock. It must return Overloaded immediately.
+        let queue = RequestQueue::new(2);
+        let t1 = queue.submit(0);
+        let t2 = queue.submit(1);
+        assert!(t1.is_ok() && t2.is_ok());
+        assert_eq!(queue.submit(2).unwrap_err(), ServeError::Overloaded);
+        assert_eq!(queue.submit(3).unwrap_err(), ServeError::Overloaded);
+        assert_eq!(queue.shed(), 2);
+        queue.close();
+        assert_eq!(queue.submit(4).unwrap_err(), ServeError::Closed);
+    }
+
+    #[test]
+    fn deadline_expires_stale_queries_with_typed_error() {
+        let (src, x, _ps, cell) = setup();
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell), x, live, "seastar");
+        let queue = RequestQueue::new(16);
+        let config = ServeConfig {
+            deadline: Some(Duration::ZERO), // everything is instantly stale
+            flush_interval: Duration::from_micros(100),
+            ..ServeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                let t = queue.submit(0).unwrap();
+                let err = t.wait().unwrap_err();
+                queue.close();
+                err
+            });
+            engine.run(&queue, &config);
+            match producer.join().unwrap() {
+                ServeError::DeadlineExceeded { .. } => {}
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        });
+        let report = engine.report(Duration::from_millis(1));
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.queries, 0, "expired queries are not answered");
+    }
+
+    /// A cell that panics on its first step, then works: the regression
+    /// case for the Drop/unwind audit. Before poison recovery, the panic
+    /// inside the batched forward poisoned the slot/queue mutexes and every
+    /// later `Ticket::wait` hung forever.
+    struct FaultyCell {
+        inner: Tgcn,
+        panics_left: std::cell::Cell<u32>,
+    }
+
+    impl RecurrentCell for FaultyCell {
+        fn hidden_size(&self) -> usize {
+            self.inner.hidden_size()
+        }
+
+        fn step<'t>(
+            &self,
+            tape: &'t Tape,
+            exec: &TemporalExecutor,
+            t: usize,
+            x: &Var<'t>,
+            h: Option<&Var<'t>>,
+        ) -> Var<'t> {
+            if self.panics_left.get() > 0 {
+                self.panics_left.set(self.panics_left.get() - 1);
+                panic!("injected forward panic");
+            }
+            self.inner.step(tape, exec, t, x, h)
+        }
+    }
+
+    #[test]
+    fn forward_panic_fails_batch_without_hanging_later_queries() {
+        let (src, x, _ps, cell) = setup();
+        let live = LiveGraph::from_source(&src);
+        let faulty = FaultyCell {
+            inner: cell,
+            panics_left: std::cell::Cell::new(1),
+        };
+        let mut engine = InferenceEngine::new(Box::new(faulty), x, live, "seastar");
+        let queue = RequestQueue::new(16);
+        let config = ServeConfig {
+            flush_interval: Duration::from_micros(100),
+            ..ServeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                // First query rides the panicking forward.
+                let first = queue.submit(0).unwrap().wait();
+                // Later queries must still get real answers — this wait
+                // hangs forever if the panic poisoned the locks.
+                let second = queue.submit(1).unwrap().wait();
+                queue.close();
+                (first, second)
+            });
+            engine.run(&queue, &config);
+            let (first, second) = producer.join().unwrap();
+            match first {
+                Err(ServeError::Internal(msg)) => {
+                    assert!(msg.contains("injected forward panic"), "{msg}")
+                }
+                other => panic!("expected Internal error, got {other:?}"),
+            }
+            let resp = second.expect("engine must keep serving after a panic");
+            assert_eq!(resp.node, 1);
+            assert_eq!(resp.values.len(), 4);
+        });
+        let report = engine.report(Duration::from_millis(1));
+        assert_eq!(report.panics, 1);
+        assert_eq!(report.queries, 1, "only the post-panic query answered");
     }
 }

@@ -14,6 +14,7 @@
 
 use std::time::{Duration, Instant};
 use stgraph_dyngraph::source::{DtdgSource, UpdateBatch};
+use stgraph_faultline::{FaultError, RetryPolicy};
 use stgraph_graph::base::Snapshot;
 use stgraph_pma::Gpma;
 
@@ -28,6 +29,37 @@ pub struct IngestStats {
     pub edges_deleted: u64,
     /// Wall time spent applying updates and materialising snapshots.
     pub ingest_time: Duration,
+    /// Apply/snapshot attempts that failed with an injected fault and
+    /// entered the backoff-retry loop.
+    pub retries: u64,
+    /// Half-applied batches rolled back before the generation published.
+    pub rollbacks: u64,
+}
+
+/// A failed (and fully rolled back) attempt to apply an [`UpdateBatch`].
+/// The live graph is bitwise unchanged when this is returned: same edges,
+/// same generation, same memoised snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// An injected (or, in principle, storage-level) fault interrupted the
+    /// batch; the generation guard held and the partial work was undone.
+    Fault(FaultError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Fault(e) => write!(f, "ingest batch failed (rolled back): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Fault(e) => Some(e),
+        }
+    }
 }
 
 /// A continuously-updated graph stored in a GPMA, advanced one
@@ -89,10 +121,68 @@ impl LiveGraph {
     /// edge sets are applied, so a snapshot tagged with the returned value
     /// reflects the whole batch and a snapshot tagged with an earlier value
     /// reflects none of it.
+    ///
+    /// Faults injected at the `gpma.update` / `ingest.apply` sites are
+    /// rolled back and retried with exponential backoff ([`RetryPolicy`]'s
+    /// default), transparently to the caller — update batches are the
+    /// stream's ground truth and are never shed. A batch that still fails
+    /// after the retry budget is a hard error (panic): at that point the
+    /// stream cannot advance correctly and a supervisor must restart from
+    /// a checkpoint.
     pub fn apply(&mut self, batch: &UpdateBatch) -> u64 {
+        stgraph_faultline::retry(&RetryPolicy::default(), || {
+            let r = self.try_apply(batch);
+            if r.is_err() {
+                self.stats.retries += 1;
+            }
+            r
+        })
+        .unwrap_or_else(|e| panic!("ingest failed after retry budget: {e}"))
+    }
+
+    /// One apply attempt with generation-guarded rollback: on `Err` the
+    /// graph is exactly as it was — partial edge work undone, generation
+    /// and memoised snapshot untouched — so no reader can ever observe a
+    /// half-applied batch, even mid-recovery.
+    pub fn try_apply(&mut self, batch: &UpdateBatch) -> Result<u64, IngestError> {
         let start = Instant::now();
-        self.gpma.insert_edges(&batch.additions);
-        self.gpma.delete_edges(&batch.deletions);
+        // Pre-filter to the edges this batch *actually* changes, so the
+        // inverse operations below are exact: re-deleting only edges that
+        // were freshly inserted and re-inserting only edges that really
+        // existed. (UpdateBatch diffs are already minimal in practice;
+        // this guards arbitrary callers.)
+        let adds: Vec<(u32, u32)> = batch
+            .additions
+            .iter()
+            .filter(|&&(s, d)| !self.gpma.has_edge(s, d))
+            .copied()
+            .collect();
+        let dels: Vec<(u32, u32)> = batch
+            .deletions
+            .iter()
+            .filter(|&&(s, d)| self.gpma.has_edge(s, d))
+            .copied()
+            .collect();
+        // Insert half. try_insert_edges fails before mutating, so there is
+        // nothing to undo on this error path.
+        if let Err(e) = self.gpma.try_insert_edges(&adds) {
+            return Err(IngestError::Fault(e));
+        }
+        // Delete half; on failure roll the insert half back.
+        if let Err(e) = self.gpma.try_delete_edges(&dels) {
+            self.gpma.delete_edges(&adds);
+            self.note_rollback();
+            return Err(IngestError::Fault(e));
+        }
+        // The `ingest.apply` site models a crash after the edge work but
+        // before the generation publishes — the window the guard exists
+        // for. Both halves are undone.
+        if let Err(e) = stgraph_faultline::fault_point!("ingest.apply") {
+            self.gpma.delete_edges(&adds);
+            self.gpma.insert_edges(&dels);
+            self.note_rollback();
+            return Err(IngestError::Fault(e));
+        }
         self.stats.batches += 1;
         self.stats.edges_added += batch.additions.len() as u64;
         self.stats.edges_deleted += batch.deletions.len() as u64;
@@ -100,17 +190,35 @@ impl LiveGraph {
         // Publish: from here on, readers see the fully-applied batch.
         self.generation += 1;
         self.memo = None;
-        self.generation
+        Ok(self.generation)
+    }
+
+    fn note_rollback(&mut self) {
+        self.stats.rollbacks += 1;
+        stgraph_faultline::note_rollback();
     }
 
     /// Materialises (or returns the memoised) snapshot for the current
     /// generation, tagged with that generation. One relabel + CSR build per
-    /// generation regardless of how many readers ask.
+    /// generation regardless of how many readers ask. Carries the
+    /// `snapshot.build` fault point (retried, then proceeding regardless —
+    /// the build is pure compute; see `GpmaGraph::build_snapshot`).
     pub fn snapshot(&mut self) -> (u64, Snapshot) {
         if let Some((g, snap)) = &self.memo {
             if *g == self.generation {
                 return (*g, snap.clone());
             }
+        }
+        if let Err(n) = stgraph_faultline::retry(&RetryPolicy::default(), || {
+            let r = stgraph_faultline::fault_point!("snapshot.build");
+            if r.is_err() {
+                self.stats.retries += 1;
+            }
+            r
+        }) {
+            // Injection outlasted the retry budget; the real build cannot
+            // fail, so degrade to proceeding (latency, not data loss).
+            let _ = n;
         }
         let start = Instant::now();
         self.gpma.relabel_edges();

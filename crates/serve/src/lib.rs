@@ -23,9 +23,11 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod ingest;
+pub mod manager;
 pub mod stats;
 
 pub use checkpoint::{load_checkpoint, load_into, save_checkpoint, save_model, CheckpointError};
-pub use engine::{InferenceEngine, QueryResponse, RequestQueue, ServeConfig, Ticket};
-pub use ingest::{IngestStats, LiveGraph};
+pub use engine::{InferenceEngine, QueryResponse, RequestQueue, ServeConfig, ServeError, Ticket};
+pub use ingest::{IngestError, IngestStats, LiveGraph};
+pub use manager::CheckpointManager;
 pub use stats::{LatencyRecorder, ServeReport};

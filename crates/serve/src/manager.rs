@@ -1,0 +1,268 @@
+//! Rotated checkpoint retention with corruption rollback.
+//!
+//! A [`CheckpointManager`] owns a directory of sequence-numbered `.stgc`
+//! files (`{prefix}-000042.stgc`). Saves append the next sequence number
+//! (written through the crash-safe tmp+rename path, retried with backoff
+//! when a `checkpoint.write`/`checkpoint.rename` fault fires) and prune to
+//! the newest `keep` files. Loads walk newest → oldest, skipping any file
+//! that fails validation — bad magic, truncation, CRC mismatch — so a torn
+//! or bit-rotted latest checkpoint automatically rolls back to the newest
+//! good one, with each skip counted on the shared `faults.rollbacks`
+//! telemetry counter.
+
+use crate::checkpoint::{decode, save_checkpoint, CheckpointError};
+use std::path::{Path, PathBuf};
+use stgraph_faultline::RetryPolicy;
+use stgraph_tensor::{StateDict, StateEntry};
+
+/// Manages a directory of rotated, sequence-numbered `.stgc` checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+    prefix: String,
+    keep: usize,
+    retry: RetryPolicy,
+}
+
+impl CheckpointManager {
+    /// A manager over `dir` (created if missing at first save), naming
+    /// files `{prefix}-{seq:06}.stgc` and retaining the newest `keep`.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        prefix: impl Into<String>,
+        keep: usize,
+    ) -> CheckpointManager {
+        CheckpointManager {
+            dir: dir.into(),
+            prefix: prefix.into(),
+            keep: keep.max(1),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// The managed directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// How many checkpoints are retained after each save.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    fn path_for(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("{}-{:06}.stgc", self.prefix, seq))
+    }
+
+    /// Every `{prefix}-NNNNNN.stgc` in the directory, sorted by ascending
+    /// sequence number. Files that don't match the naming scheme are
+    /// ignored (the directory may hold other artifacts).
+    pub fn list(&self) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(CheckpointError::Io(e)),
+        };
+        for entry in entries {
+            let path = entry.map_err(CheckpointError::Io)?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(stem) = name
+                .strip_prefix(self.prefix.as_str())
+                .and_then(|s| s.strip_prefix('-'))
+                .and_then(|s| s.strip_suffix(".stgc"))
+            else {
+                continue;
+            };
+            if let Ok(seq) = stem.parse::<u64>() {
+                out.push((seq, path));
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        Ok(out)
+    }
+
+    /// Saves `entries` as the next checkpoint in sequence and prunes old
+    /// files down to `keep`. Injected save faults (torn write, lost
+    /// rename) are retried with exponential backoff; the sequence number
+    /// is claimed once, so a retried save lands at the same path.
+    pub fn save(&self, entries: &[StateEntry]) -> Result<PathBuf, CheckpointError> {
+        std::fs::create_dir_all(&self.dir).map_err(CheckpointError::Io)?;
+        let next = self.list()?.last().map(|(seq, _)| seq + 1).unwrap_or(0);
+        let path = self.path_for(next);
+        stgraph_faultline::retry(&self.retry, || save_checkpoint(&path, entries))?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// Saves a model's parameters as the next checkpoint in sequence.
+    pub fn save_model<M: StateDict + ?Sized>(&self, model: &M) -> Result<PathBuf, CheckpointError> {
+        self.save(&model.to_state_dict())
+    }
+
+    /// Deletes all but the newest `keep` checkpoints (and any stale
+    /// `.stgc.tmp` debris a crashed save left behind).
+    pub fn prune(&self) -> Result<(), CheckpointError> {
+        let files = self.list()?;
+        if files.len() > self.keep {
+            for (_, path) in &files[..files.len() - self.keep] {
+                std::fs::remove_file(path).map_err(CheckpointError::Io)?;
+            }
+        }
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.to_str().is_some_and(|p| p.ends_with(".stgc.tmp")) {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest checkpoint that passes full validation, rolling
+    /// back over corrupt files (bad magic, truncation, checksum mismatch,
+    /// malformed structure) newest → oldest. Returns the winning sequence
+    /// number and its entries. Every skipped file bumps the
+    /// `faults.rollbacks` counter; if no file validates, the typed
+    /// [`CheckpointError::NoValidCheckpoint`] reports how many were tried.
+    pub fn load_latest(&self) -> Result<(u64, Vec<StateEntry>), CheckpointError> {
+        let files = self.list()?;
+        let mut rejected = 0usize;
+        for (seq, path) in files.iter().rev() {
+            match std::fs::read(path)
+                .map_err(CheckpointError::Io)
+                .and_then(|b| decode(&b))
+            {
+                Ok(entries) => return Ok((*seq, entries)),
+                Err(e) => {
+                    rejected += 1;
+                    stgraph_faultline::note_rollback();
+                    eprintln!("checkpoint {} rejected ({e}); rolling back", path.display());
+                }
+            }
+        }
+        Err(CheckpointError::NoValidCheckpoint { rejected })
+    }
+
+    /// Loads the newest valid checkpoint into `model` by parameter name.
+    /// The model is untouched if nothing validates or the entries don't
+    /// fit. Returns the loaded sequence number.
+    pub fn load_latest_into<M: StateDict + ?Sized>(
+        &self,
+        model: &M,
+    ) -> Result<u64, CheckpointError> {
+        let (seq, entries) = self.load_latest()?;
+        model.try_load_state_dict(&entries)?;
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph_tensor::Shape;
+
+    fn entries(tag: f32) -> Vec<StateEntry> {
+        vec![("w".into(), Shape::Vec(3), vec![tag, tag + 1.0, tag + 2.0])]
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stgc-mgr-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn saves_rotate_and_prune_to_keep() {
+        let dir = tmp_dir("rotate");
+        let mgr = CheckpointManager::new(&dir, "model", 3);
+        for i in 0..5 {
+            mgr.save(&entries(i as f32)).unwrap();
+        }
+        let files = mgr.list().unwrap();
+        assert_eq!(files.len(), 3, "pruned to keep");
+        let seqs: Vec<u64> = files.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, [2, 3, 4], "oldest pruned, sequence monotone");
+        let (seq, e) = mgr.load_latest().unwrap();
+        assert_eq!(seq, 4);
+        assert_eq!(e[0].2[0], 4.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_rolls_back_to_last_good() {
+        let dir = tmp_dir("rollback");
+        let mgr = CheckpointManager::new(&dir, "model", 4);
+        for i in 0..3 {
+            mgr.save(&entries(i as f32)).unwrap();
+        }
+        // Corrupt the newest file mid-body; CRC catches it.
+        let (_, newest) = mgr.list().unwrap().last().cloned().unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        std::fs::write(&newest, &bytes).unwrap();
+        let before = stgraph_faultline::rollback_count();
+        let (seq, e) = mgr.load_latest().unwrap();
+        assert_eq!(seq, 1, "rolled back past the corrupt newest");
+        assert_eq!(e[0].2[0], 1.0);
+        // >= because the counter is process-global and concurrent tests
+        // (or an env-armed fault plan) may also record rollbacks.
+        assert!(stgraph_faultline::rollback_count() - before >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_everything_is_typed() {
+        let dir = tmp_dir("allbad");
+        let mgr = CheckpointManager::new(&dir, "model", 4);
+        for i in 0..2 {
+            mgr.save(&entries(i as f32)).unwrap();
+        }
+        for (_, path) in mgr.list().unwrap() {
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..5]).unwrap(); // truncate
+        }
+        match mgr.load_latest() {
+            Err(CheckpointError::NoValidCheckpoint { rejected }) => assert_eq!(rejected, 2),
+            other => panic!("expected NoValidCheckpoint, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_or_missing_directory_is_typed() {
+        let dir = tmp_dir("empty");
+        let mgr = CheckpointManager::new(&dir, "model", 2);
+        assert!(matches!(
+            mgr.load_latest(),
+            Err(CheckpointError::NoValidCheckpoint { rejected: 0 })
+        ));
+        assert_eq!(mgr.list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn save_retries_through_injected_write_faults() {
+        let _g = stgraph_faultline::test_lock();
+        let dir = tmp_dir("faulty");
+        let mgr = CheckpointManager::new(&dir, "model", 2);
+        // The first save's write attempt tears; the second save's rename
+        // attempt vanishes. Both saves must still land via retry.
+        stgraph_faultline::set_plan(
+            stgraph_faultline::FaultPlan::new()
+                .fail_nth("checkpoint.write", 1)
+                .fail_nth("checkpoint.rename", 2),
+        );
+        mgr.save(&entries(1.0)).unwrap();
+        mgr.save(&entries(2.0)).unwrap();
+        stgraph_faultline::clear_plan();
+        let (seq, e) = mgr.load_latest().unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(e[0].2[0], 2.0);
+        assert_eq!(mgr.list().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -93,6 +93,15 @@ pub struct ServeReport {
     pub pool: BufPoolStats,
     /// Per-pool live/peak bytes ([`stgraph_tensor::mem`]).
     pub mem: Vec<(String, stgraph_tensor::mem::PoolStats)>,
+    /// Queries shed at submit time because the queue was full.
+    pub shed: u64,
+    /// Queries expired past their deadline instead of being answered.
+    pub expired: u64,
+    /// Batched forwards that panicked and were recovered.
+    pub panics: u64,
+    /// Faults injected process-wide (the `faults.injected` counter) —
+    /// nonzero only when `STGRAPH_FAULTS` or a programmatic plan is armed.
+    pub faults_injected: u64,
 }
 
 impl ServeReport {
@@ -154,6 +163,16 @@ impl fmt::Display for ServeReport {
             self.ingest.edges_added,
             self.ingest.edges_deleted,
             fmt_dur(self.ingest.ingest_time),
+        )?;
+        writeln!(
+            f,
+            "resilience: {} shed, {} expired, {} panics recovered, {} retries, {} rollbacks, {} faults injected",
+            self.shed,
+            self.expired,
+            self.panics,
+            self.ingest.retries,
+            self.ingest.rollbacks,
+            self.faults_injected,
         )?;
         writeln!(
             f,
@@ -239,6 +258,10 @@ mod tests {
             ingest: IngestStats::default(),
             pool: stgraph_tensor::pool::stats(),
             mem: stgraph_tensor::mem::all_stats(),
+            shed: 3,
+            expired: 2,
+            panics: 1,
+            faults_injected: 0,
         };
         assert!((report.throughput_qps() - 50.0).abs() < 1e-9);
         assert!((report.mean_batch_size() - 10.0).abs() < 1e-9);
@@ -246,5 +269,6 @@ mod tests {
         assert!(text.contains("p50 120.0us"));
         assert!(text.contains("p99 2.00ms"));
         assert!(text.contains("50 q/s"));
+        assert!(text.contains("resilience: 3 shed, 2 expired, 1 panics recovered"));
     }
 }

@@ -191,6 +191,12 @@ pub(crate) fn take(pool: u32, len: usize) -> Option<Vec<f32>> {
     if !enabled() {
         return None;
     }
+    // The `pool.alloc` fault point degrades gracefully by design: an
+    // injected failure is reported as a cache bypass (the caller falls
+    // back to a fresh allocation), never an allocation error.
+    if stgraph_faultline::fault_point!("pool.alloc").is_err() {
+        return None;
+    }
     let class = class_for(len)?;
     let cached = {
         let mut lists = lists().lock();
@@ -385,6 +391,31 @@ mod tests {
             );
             let after = stats();
             assert!(after.trimmed_bytes - before.trimmed_bytes >= 2048);
+        });
+    }
+
+    // Unwind audit: a panic under an open scope must run the guard's Drop —
+    // depth back to zero, cached charges trimmed — and leave the thread able
+    // to open fresh scopes. A leaked depth here would silently re-enable
+    // pooling for every later allocation on the thread.
+    #[test]
+    fn scope_unwinds_cleanly_on_panic() {
+        mem::with_pool("buf-pool-unwind", || {
+            let live0 = mem::stats("buf-pool-unwind").live;
+            let result = std::panic::catch_unwind(|| {
+                let _scope = PoolScope::new();
+                drop(TrackedBuf::zeros(300)); // parked in the cache
+                panic!("injected panic under an open pool scope");
+            });
+            assert!(result.is_err());
+            assert!(!enabled(), "unwound scope must close");
+            assert_eq!(
+                mem::stats("buf-pool-unwind").live,
+                live0,
+                "unwind must trim cached charges"
+            );
+            let _scope = PoolScope::new();
+            assert!(enabled(), "pooling must still work after the unwind");
         });
     }
 

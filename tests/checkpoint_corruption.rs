@@ -1,0 +1,154 @@
+//! Property tests on `.stgc` corruption handling: *any* single-byte flip
+//! or truncation of a valid checkpoint must surface as a typed
+//! [`CheckpointError`] — never a panic, never silently-wrong weights — and
+//! a [`CheckpointManager`] holding an older good file must roll back to it.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use stgraph_serve::checkpoint::{decode, encode};
+use stgraph_serve::{CheckpointError, CheckpointManager};
+use stgraph_tensor::{Shape, StateEntry};
+
+fn entries(tag: f32) -> Vec<StateEntry> {
+    vec![
+        (
+            "layer.w".into(),
+            Shape::Mat(3, 4),
+            (0..12).map(|i| tag + i as f32).collect(),
+        ),
+        ("layer.b".into(), Shape::Vec(4), vec![tag; 4]),
+    ]
+}
+
+/// A unique scratch directory per proptest case (cases run concurrently).
+fn case_dir(name: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "stgc-prop-{name}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Valid encoded bytes, built once: the corpus every mutation starts from.
+fn valid_bytes() -> &'static [u8] {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES.get_or_init(|| encode(&entries(1.0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flipping any byte anywhere in the file — magic, header, payload, or
+    /// the checksum itself — is detected and typed. CRC32 guarantees
+    /// detection of every single-byte error, so this holds for *all*
+    /// offsets, not just the ones the strategy samples.
+    #[test]
+    fn any_single_byte_flip_is_a_typed_error(
+        offset in 0usize..1usize << 16,
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = valid_bytes().to_vec();
+        let offset = offset % bytes.len();
+        bytes[offset] ^= mask;
+        match decode(&bytes) {
+            Err(_) => {} // typed CheckpointError: the contract
+            Ok(got) => {
+                // A flip that decodes must decode to the exact original
+                // (impossible for CRC32 + fixed magic, but assert the
+                // safety property rather than the mechanism).
+                prop_assert_eq!(got, entries(1.0));
+            }
+        }
+    }
+
+    /// Truncating the file at any point — mid-magic, mid-header,
+    /// mid-payload, mid-checksum — is detected and typed.
+    #[test]
+    fn any_truncation_is_a_typed_error(cut in 0usize..1usize << 16) {
+        let bytes = valid_bytes();
+        let cut = cut % bytes.len(); // strictly shorter than the original
+        prop_assert!(
+            decode(&bytes[..cut]).is_err(),
+            "truncation to {cut}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
+
+    /// Manager-level recovery: corrupt the newest checkpoint arbitrarily
+    /// (flip or truncate) and `load_latest` must roll back to the older
+    /// good file and report its sequence number.
+    #[test]
+    fn manager_rolls_back_over_arbitrary_corruption(
+        offset in 0usize..1usize << 16,
+        mask in 1u8..=255,
+        truncate in any::<bool>(),
+    ) {
+        let dir = case_dir("rollback");
+        let mgr = CheckpointManager::new(&dir, "model", 4);
+        mgr.save(&entries(1.0)).unwrap();
+        mgr.save(&entries(2.0)).unwrap();
+        let (newest_seq, newest) = mgr.list().unwrap().last().cloned().unwrap();
+        prop_assert_eq!(newest_seq, 1);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        if truncate {
+            bytes.truncate(offset % bytes.len());
+        } else {
+            let offset = offset % bytes.len();
+            bytes[offset] ^= mask;
+        }
+        std::fs::write(&newest, &bytes).unwrap();
+
+        match mgr.load_latest() {
+            Ok((seq, got)) => {
+                if seq == 0 {
+                    // Rolled back to the older good checkpoint.
+                    prop_assert_eq!(got, entries(1.0));
+                } else {
+                    // The mutation happened to leave a valid file (flips
+                    // can't, truncation can't — but keep the property,
+                    // not the mechanism): contents must be exact.
+                    prop_assert_eq!(got, entries(2.0));
+                }
+            }
+            Err(e) => {
+                // Never a panic from decode; with seq 0 intact this branch
+                // would mean rollback failed to find the good file.
+                panic!("rollback must reach the good checkpoint, got {e:?}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deterministic spot-checks of the error taxonomy: the *kind* of
+/// corruption maps to the right [`CheckpointError`] variant.
+#[test]
+fn corruption_kinds_map_to_typed_variants() {
+    let bytes = valid_bytes().to_vec();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(
+        matches!(decode(&bad_magic), Err(CheckpointError::BadMagic(_))),
+        "a wrong magic must be identified as such"
+    );
+
+    let mut bad_body = bytes.clone();
+    let mid = bad_body.len() / 2;
+    bad_body[mid] ^= 0x01;
+    assert!(decode(&bad_body).is_err(), "a body flip must fail the CRC");
+
+    assert!(decode(&bytes[..3]).is_err(), "shorter than the magic");
+    assert!(decode(&[]).is_err(), "empty input");
+    assert!(
+        decode(&bytes[..bytes.len() - 1]).is_err(),
+        "one missing byte must fail"
+    );
+
+    // The untouched original still decodes, so the corpus is really valid.
+    assert_eq!(decode(&bytes).unwrap(), entries(1.0));
+}

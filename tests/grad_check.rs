@@ -1,0 +1,199 @@
+//! Finite-difference gradient checks for every autograd op and both
+//! losses. Each op's analytic backward pass is compared against a
+//! central-difference numeric gradient with per-element mixed
+//! absolute/relative tolerance 1e-3 (f32).
+//!
+//! Non-scalar ops are reduced to a scalar through a fixed, element-varying
+//! weighting (`sum(op(x) * c)` with distinct `c` entries) rather than a
+//! plain sum, so gradients that land on the wrong element — a transposed
+//! matmul backward, an off-by-one slice — cannot cancel out. Inputs avoid
+//! the `relu`/`leaky_relu` kink (|x| >= 0.3) where the derivative is
+//! undefined and finite differences are meaningless.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::rc::Rc;
+use stgraph_tensor::autograd::check::{assert_close, numeric_grad};
+use stgraph_tensor::autograd::Var;
+use stgraph_tensor::{Shape, Tape, Tensor};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 1e-3;
+
+/// A deterministic test tensor with every |element| in [0.3, 0.9]: away
+/// from the relu kink, small enough that exp/sigmoid/tanh stay well
+/// conditioned for f32 central differences.
+fn test_tensor(shape: impl Into<Shape>, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = (0..shape.numel())
+        .map(|_| {
+            let m: f32 = rng.gen_range(0.3..0.9);
+            if rng.gen_bool(0.5) {
+                m
+            } else {
+                -m
+            }
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Reduces `v` to a scalar via a fixed element-varying weighting.
+fn weighted<'t>(v: &Var<'t>) -> Var<'t> {
+    let shape = v.value().shape();
+    let c = Tensor::from_vec(
+        shape,
+        (0..shape.numel()).map(|i| 0.3 + 0.17 * i as f32).collect(),
+    );
+    v.mul(&v.tape().constant(c)).sum()
+}
+
+/// The harness: analytic gradient through the tape vs central differences,
+/// for a `build` that maps the input var to a *scalar* var.
+fn check<F>(name: &str, x: &Tensor, build: F)
+where
+    F: for<'t> Fn(&'t Tape, Var<'t>) -> Var<'t>,
+{
+    let tape = Tape::new();
+    let (xv, xg) = tape.input(x.clone());
+    let loss = build(&tape, xv);
+    assert_eq!(
+        loss.value().shape().numel(),
+        1,
+        "[{name}] build must produce a scalar"
+    );
+    tape.backward(&loss);
+    let analytic = xg
+        .get()
+        .unwrap_or_else(|| panic!("[{name}] no gradient reached the input"));
+
+    let mut f = |t: &Tensor| {
+        let tape = Tape::new();
+        let (xv, _) = tape.input(t.clone());
+        build(&tape, xv).value().data()[0]
+    };
+    let numeric = numeric_grad(&mut f, x, EPS);
+    assert_close(&analytic, &numeric, TOL);
+}
+
+#[test]
+fn arithmetic_ops() {
+    let x = test_tensor(Shape::Mat(3, 4), 1);
+    let other = test_tensor(Shape::Mat(3, 4), 2);
+
+    check("add-lhs", &x, |t, v| {
+        weighted(&v.add(&t.constant(other.clone())))
+    });
+    check("add-rhs", &x, |t, v| {
+        weighted(&t.constant(other.clone()).add(&v))
+    });
+    check("sub-lhs", &x, |t, v| {
+        weighted(&v.sub(&t.constant(other.clone())))
+    });
+    check("sub-rhs", &x, |t, v| {
+        weighted(&t.constant(other.clone()).sub(&v))
+    });
+    check("mul-lhs", &x, |t, v| {
+        weighted(&v.mul(&t.constant(other.clone())))
+    });
+    check("mul-rhs", &x, |t, v| {
+        weighted(&t.constant(other.clone()).mul(&v))
+    });
+    check("neg", &x, |_, v| weighted(&v.neg()));
+    check("add_scalar", &x, |_, v| weighted(&v.add_scalar(0.7)));
+    check("mul_scalar", &x, |_, v| weighted(&v.mul_scalar(-1.3)));
+    check("one_minus", &x, |_, v| weighted(&v.one_minus()));
+    check("square", &x, |_, v| weighted(&v.square()));
+}
+
+#[test]
+fn activation_ops() {
+    let x = test_tensor(Shape::Mat(3, 4), 3);
+    check("sigmoid", &x, |_, v| weighted(&v.sigmoid()));
+    check("tanh", &x, |_, v| weighted(&v.tanh()));
+    check("relu", &x, |_, v| weighted(&v.relu()));
+    check("leaky_relu", &x, |_, v| weighted(&v.leaky_relu(0.1)));
+    check("exp", &x, |_, v| weighted(&v.exp()));
+}
+
+#[test]
+fn linear_ops() {
+    let x = test_tensor(Shape::Mat(3, 4), 4);
+    let w = test_tensor(Shape::Mat(4, 2), 5);
+    let a = test_tensor(Shape::Mat(2, 3), 6);
+    let bias = test_tensor(Shape::Vec(4), 7);
+    let rows = test_tensor(Shape::Vec(3), 8);
+
+    check("matmul-lhs", &x, |t, v| {
+        weighted(&v.matmul(&t.constant(w.clone())))
+    });
+    check("matmul-rhs", &x, |t, v| {
+        weighted(&t.constant(a.clone()).matmul(&v))
+    });
+    check("matmul_const", &x, |_, v| weighted(&v.matmul_const(&w)));
+    check("add_bias-input", &x, |t, v| {
+        weighted(&v.add_bias(&t.constant(bias.clone())))
+    });
+    check("add_bias-bias", &bias, |t, v| {
+        weighted(&t.constant(x.clone()).add_bias(&v))
+    });
+    check("scale_rows_const", &x, |_, v| {
+        weighted(&v.scale_rows_const(&rows))
+    });
+}
+
+#[test]
+fn structural_ops() {
+    let x = test_tensor(Shape::Mat(3, 2), 9);
+    let side = test_tensor(Shape::Mat(3, 3), 10);
+    check("concat_cols-first", &x, |t, v| {
+        weighted(&Var::concat_cols(&[&v, &t.constant(side.clone())]))
+    });
+    check("concat_cols-second", &x, |t, v| {
+        weighted(&Var::concat_cols(&[&t.constant(side.clone()), &v]))
+    });
+
+    let wide = test_tensor(Shape::Mat(3, 5), 11);
+    check("slice_cols", &wide, |_, v| weighted(&v.slice_cols(1, 4)));
+
+    // Repeated gather indices exercise the scatter-add accumulation in the
+    // backward pass; an index absent from the list must get zero gradient.
+    let table = test_tensor(Shape::Mat(5, 3), 12);
+    check("gather_rows", &table, |_, v| {
+        weighted(&v.gather_rows(Rc::new(vec![0, 2, 2, 4])))
+    });
+
+    let msgs = test_tensor(Shape::Mat(4, 3), 13);
+    check("scatter_add_rows", &msgs, |_, v| {
+        weighted(&v.scatter_add_rows(Rc::new(vec![1, 3, 3, 0]), 5))
+    });
+}
+
+#[test]
+fn reduction_ops() {
+    let x = test_tensor(Shape::Mat(3, 4), 14);
+    check("sum_cols", &x, |_, v| weighted(&v.sum_cols()));
+    check("sum", &x, |_, v| v.sum());
+    check("mean", &x, |_, v| v.mean());
+}
+
+#[test]
+fn losses() {
+    let x = test_tensor(Shape::Mat(4, 3), 15);
+    let target = test_tensor(Shape::Mat(4, 3), 16);
+    check("mse_loss", &x, |_, v| v.mse_loss(&target));
+
+    // BCE-with-logits: targets are hard labels in {0, 1}.
+    let logits = test_tensor(Shape::Mat(4, 3), 17);
+    let mut rng = ChaCha8Rng::seed_from_u64(18);
+    let labels = Tensor::from_vec(
+        Shape::Mat(4, 3),
+        (0..12)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+            .collect(),
+    );
+    check("bce_with_logits_loss", &logits, |_, v| {
+        v.bce_with_logits_loss(&labels)
+    });
+}

@@ -91,6 +91,7 @@ fn train_checkpoint_serve_end_to_end() {
         max_batch: 32,
         flush_interval: Duration::from_micros(500),
         queue_capacity: 128,
+        ..ServeConfig::default()
     };
     let per_gen = 100usize.div_ceil(generations);
     let diffs = src.diffs();
@@ -104,9 +105,13 @@ fn train_checkpoint_serve_end_to_end() {
             for g in 0..generations {
                 use rand::Rng;
                 let tickets: Vec<Ticket> = (0..per_gen)
-                    .map(|_| queue.submit(rng.gen_range(0..src.num_nodes as u32)))
+                    .map(|_| {
+                        queue
+                            .submit(rng.gen_range(0..src.num_nodes as u32))
+                            .unwrap()
+                    })
                     .collect();
-                responses.extend(tickets.into_iter().map(Ticket::wait));
+                responses.extend(tickets.into_iter().map(|t| t.wait().unwrap()));
                 if g + 1 < generations {
                     queue.advance(diffs[g].clone());
                 }
