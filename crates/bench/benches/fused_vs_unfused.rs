@@ -42,10 +42,12 @@ fn bench_backends(c: &mut Criterion) {
         ("unfused", &ReferenceBackend as &dyn AggregationBackend),
     ] {
         group.bench_with_input(BenchmarkId::new("gcn_forward", name), &name, |b, _| {
-            b.iter(|| std::hint::black_box(be.execute(&gcn, &snap, &[&x], &[&norm], &[], &[])))
+            b.iter(|| std::hint::black_box(be.execute(&gcn, &snap, &[&x], &[&norm], &[], &[], &[])))
         });
         group.bench_with_input(BenchmarkId::new("gat_forward", name), &name, |b, _| {
-            b.iter(|| std::hint::black_box(be.execute(&gat, &snap, &[&x, &el, &er], &[], &[], &[])))
+            b.iter(|| {
+                std::hint::black_box(be.execute(&gat, &snap, &[&x, &el, &er], &[], &[], &[], &[]))
+            })
         });
     }
     group.finish();

@@ -50,7 +50,15 @@ fn bench_scheduling(c: &mut Criterion) {
     for (name, snap) in [("degree_sorted", &sorted), ("natural_order", &unsorted)] {
         group.bench_with_input(BenchmarkId::new("gcn_forward", name), &name, |b, _| {
             b.iter(|| {
-                std::hint::black_box(SeastarBackend.execute(&prog, snap, &[&x], &[&norm], &[], &[]))
+                std::hint::black_box(SeastarBackend.execute(
+                    &prog,
+                    snap,
+                    &[&x],
+                    &[&norm],
+                    &[],
+                    &[],
+                    &[],
+                ))
             })
         });
     }

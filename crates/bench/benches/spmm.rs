@@ -37,6 +37,7 @@ fn bench_spmm(c: &mut Criterion) {
                     &[&norm],
                     &[],
                     &[],
+                    &[],
                 ))
             })
         });

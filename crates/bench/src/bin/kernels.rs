@@ -1,0 +1,204 @@
+//! Kernel microbenchmarks tracking the perf trajectory of the SIMD /
+//! fusion / quantization layer: GEMM row microkernels (SIMD vs scalar),
+//! aggregation-into-GEMM fusion (fused vs materialize-then-GEMM), and the
+//! i8 quantized matmul. Prints a table and writes `BENCH_kernels.json`.
+//!
+//! ```sh
+//! cargo run --release -p stgraph-bench --bin kernels
+//! STGRAPH_NO_SIMD=1 cargo run --release -p stgraph-bench --bin kernels
+//! ```
+//!
+//! The SIMD dispatch flag is latched per process, so the scalar "before"
+//! numbers come from re-running under `STGRAPH_NO_SIMD=1`; the JSON rows
+//! carry the active mode so runs can be diffed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+use stgraph::backend::{AggregationBackend, SeastarBackend};
+use stgraph_graph::base::Snapshot;
+use stgraph_seastar::ir::{Program, ProgramBuilder};
+use stgraph_tensor::tensor::{gemm_row, gemm_row_scalar};
+use stgraph_tensor::{quant, simd, Tensor};
+
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: String,
+    config: String,
+    simd: bool,
+    ms_per_iter: f64,
+    gflops: f64,
+    speedup_vs_baseline: f64,
+}
+
+/// Median-of-reps wall time per iteration, in milliseconds.
+fn time_ms<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up, then size the iteration count to ~60ms of work.
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64().max(1e-7);
+    let iters = ((0.06 / once) as usize).clamp(1, 10_000);
+    let mut reps: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e3 / iters as f64
+        })
+        .collect();
+    reps.sort_by(f64::total_cmp);
+    reps[1]
+}
+
+/// `agg = sum_dst(gather_src(h)); out = agg @ W` — the aggregate-then-GEMM
+/// pattern the fusion pass rewrites into one adjacency pass.
+fn agg_gemm_program(k: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let h = b.input(k);
+    let w = b.mat_const(k, m);
+    let g = b.gather_src(h);
+    let agg = b.agg_sum_dst(g);
+    let out = b.matmul_const(agg, w);
+    b.finish(&[out])
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let simd_on = simd::enabled();
+    let mut rows: Vec<KernelRow> = Vec::new();
+    println!(
+        "kernel microbenches (SIMD {}):",
+        if simd_on {
+            "on"
+        } else {
+            "off — STGRAPH_NO_SIMD"
+        }
+    );
+    println!(
+        "{:<26} {:<22} {:>12} {:>10} {:>9}",
+        "kernel", "config", "ms/iter", "GFLOP/s", "speedup"
+    );
+    let mut push = |kernel: &str, config: String, ms: f64, flops: f64, base_ms: f64| {
+        let gflops = flops / (ms * 1e-3) / 1e9;
+        let speedup = base_ms / ms;
+        println!("{kernel:<26} {config:<22} {ms:>12.4} {gflops:>10.2} {speedup:>8.2}x");
+        rows.push(KernelRow {
+            kernel: kernel.to_string(),
+            config,
+            simd: simd_on,
+            ms_per_iter: ms,
+            gflops,
+            speedup_vs_baseline: speedup,
+        });
+    };
+
+    // --- GEMM row microkernel: scalar vs SIMD dispatch, serial over rows
+    // (isolates the microkernel from rayon scheduling). ---
+    for (n, k, m) in [(256usize, 256usize, 256usize), (512, 64, 64)] {
+        let a = Tensor::rand_uniform((n, k), -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform((k, m), -1.0, 1.0, &mut rng);
+        let (ad, bd) = (a.data(), b.data());
+        let mut out = vec![0f32; n * m];
+        let flops = (2 * n * k * m) as f64;
+        let cfg = format!("{n}x{k}x{m}");
+        let scalar_ms = time_ms(|| {
+            for (i, row) in out.chunks_mut(m).enumerate() {
+                gemm_row_scalar(row, &ad[i * k..(i + 1) * k], bd, m);
+            }
+        });
+        push("gemm_row scalar", cfg.clone(), scalar_ms, flops, scalar_ms);
+        let dispatch_ms = time_ms(|| {
+            for (i, row) in out.chunks_mut(m).enumerate() {
+                gemm_row(row, &ad[i * k..(i + 1) * k], bd, m);
+            }
+        });
+        push(
+            "gemm_row dispatch",
+            cfg.clone(),
+            dispatch_ms,
+            flops,
+            scalar_ms,
+        );
+        // The full parallel matmul (what table3's training path calls).
+        let par_ms = time_ms(|| {
+            std::hint::black_box(a.matmul(&b));
+        });
+        push("matmul parallel", cfg, par_ms, flops, scalar_ms);
+    }
+
+    // --- Aggregation-into-GEMM fusion: materialize-then-GEMM vs the fused
+    // single-pass kernel, same backend, same graph. ---
+    for (n, deg, k, m) in [
+        // L2-resident features (the per-snapshot working set of the paper's
+        // datasets) and a DRAM-resident sweep point.
+        (5_000usize, 16usize, 64usize, 64usize),
+        (20_000, 16, 64, 64),
+        (20_000, 16, 32, 128),
+    ] {
+        let edges: Vec<(u32, u32)> = (0..n * deg)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let snap = Snapshot::from_edges(n, &edges);
+        let h = Tensor::rand_uniform((n, k), -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform((k, m), -0.5, 0.5, &mut rng);
+        let unfused = agg_gemm_program(k, m);
+        let (fused, _) = unfused.fuse_agg_matmul(&[]);
+        // Edge traversals + the dense GEMM, as multiply-adds.
+        let flops = (2 * (edges.len() * k + n * k * m)) as f64;
+        let cfg = format!("n={n} d={deg} {k}->{m}");
+        let unfused_ms = time_ms(|| {
+            std::hint::black_box(SeastarBackend.execute(
+                &unfused,
+                &snap,
+                &[&h],
+                &[],
+                &[],
+                &[&w],
+                &[],
+            ));
+        });
+        push(
+            "agg+gemm unfused",
+            cfg.clone(),
+            unfused_ms,
+            flops,
+            unfused_ms,
+        );
+        let fused_ms = time_ms(|| {
+            std::hint::black_box(SeastarBackend.execute(
+                &fused,
+                &snap,
+                &[&h],
+                &[],
+                &[],
+                &[&w],
+                &[],
+            ));
+        });
+        push("agg+gemm fused", cfg, fused_ms, flops, unfused_ms);
+    }
+
+    // --- Quantized matmul vs f32 (the serve --quantize path). ---
+    for (n, k, m) in [(4096usize, 64usize, 64usize), (1024, 256, 256)] {
+        let x = Tensor::rand_uniform((n, k), -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform((k, m), -0.5, 0.5, &mut rng);
+        let flops = (2 * n * k * m) as f64;
+        let cfg = format!("{n}x{k}x{m}");
+        let f32_ms = time_ms(|| {
+            std::hint::black_box(x.matmul(&w));
+        });
+        push("matmul f32", cfg.clone(), f32_ms, flops, f32_ms);
+        let q_ms = time_ms(|| {
+            std::hint::black_box(quant::quantized_matmul(&x, &w));
+        });
+        push("matmul i8 quantized", cfg, q_ms, flops, f32_ms);
+    }
+
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, serde_json::to_string_pretty(&rows).unwrap())
+        .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
+    println!("(wrote {path})");
+}

@@ -23,7 +23,13 @@ pub trait AggregationBackend: Send + Sync {
     /// Backend name (factory key).
     fn name(&self) -> &'static str;
 
-    /// Runs `prog` against `graph`; see `stgraph_seastar::exec::execute`.
+    /// Runs `prog` against `graph`; see
+    /// `stgraph_seastar::exec::execute_with_mats`. `mat_consts` fills the
+    /// program's mat-const slots (empty for programs without matmuls).
+    ///
+    /// One positional slice per IR binding class — the signature mirrors the
+    /// kernel launch ABI rather than bundling slices into a struct.
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         prog: &Program,
@@ -31,6 +37,7 @@ pub trait AggregationBackend: Send + Sync {
         inputs: &[&Tensor],
         node_consts: &[&Tensor],
         edge_consts: &[&Tensor],
+        mat_consts: &[&Tensor],
         save: &[Id],
     ) -> ExecOutput;
 }
@@ -50,10 +57,19 @@ impl AggregationBackend for SeastarBackend {
         inputs: &[&Tensor],
         node_consts: &[&Tensor],
         edge_consts: &[&Tensor],
+        mat_consts: &[&Tensor],
         save: &[Id],
     ) -> ExecOutput {
         let _sp = stgraph_telemetry::span_cat("kernel.fused", "kernel");
-        stgraph_seastar::exec::execute(prog, graph, inputs, node_consts, edge_consts, save)
+        stgraph_seastar::exec::execute_with_mats(
+            prog,
+            graph,
+            inputs,
+            node_consts,
+            edge_consts,
+            mat_consts,
+            save,
+        )
     }
 }
 
@@ -88,6 +104,7 @@ impl AggregationBackend for ReferenceBackend {
         inputs: &[&Tensor],
         node_consts: &[&Tensor],
         edge_consts: &[&Tensor],
+        mat_consts: &[&Tensor],
         save: &[Id],
     ) -> ExecOutput {
         let _sp = stgraph_telemetry::span_cat("kernel.unfused", "kernel");
@@ -141,6 +158,22 @@ impl AggregationBackend for ReferenceBackend {
                     t.sum_axis1().reshape((rows, 1))
                 }
                 Op::BroadcastFeat(a, bw) => values[a].as_ref().unwrap().broadcast_col(bw),
+                Op::MatmulConst(a, s) => values[a].as_ref().unwrap().matmul(mat_consts[s]),
+                Op::MatmulConstT(a, s) => values[a]
+                    .as_ref()
+                    .unwrap()
+                    .matmul(&mat_consts[s].transpose()),
+                // Fully unfused oracle: materialise the aggregate, then GEMM.
+                Op::AggMatmulDst(e, s) => values[e]
+                    .as_ref()
+                    .unwrap()
+                    .scatter_add_rows(&dst, n)
+                    .matmul(mat_consts[s]),
+                Op::AggMatmulSrc(e, s) => values[e]
+                    .as_ref()
+                    .unwrap()
+                    .scatter_add_rows(&src, n)
+                    .matmul(mat_consts[s]),
             };
             debug_assert_eq!(
                 val.rows(),
@@ -238,8 +271,8 @@ mod tests {
         let x = Tensor::rand_uniform((6, 5), -1.0, 1.0, &mut rng);
         let norm = Tensor::from_vec((6, 1), gcn_norm(&g.in_degrees));
         let prog = gcn_aggregation(5);
-        let a = SeastarBackend.execute(&prog, &g, &[&x], &[&norm], &[], &[]);
-        let b = ReferenceBackend.execute(&prog, &g, &[&x], &[&norm], &[], &[]);
+        let a = SeastarBackend.execute(&prog, &g, &[&x], &[&norm], &[], &[], &[]);
+        let b = ReferenceBackend.execute(&prog, &g, &[&x], &[&norm], &[], &[], &[]);
         assert!(a.outputs[0].approx_eq(&b.outputs[0], 1e-4));
     }
 
@@ -251,8 +284,8 @@ mod tests {
         let el = Tensor::rand_uniform((6, 1), -1.0, 1.0, &mut rng);
         let er = Tensor::rand_uniform((6, 1), -1.0, 1.0, &mut rng);
         let prog = gat_aggregation(4, 0.2);
-        let a = SeastarBackend.execute(&prog, &g, &[&h, &el, &er], &[], &[], &[]);
-        let b = ReferenceBackend.execute(&prog, &g, &[&h, &el, &er], &[], &[], &[]);
+        let a = SeastarBackend.execute(&prog, &g, &[&h, &el, &er], &[], &[], &[], &[]);
+        let b = ReferenceBackend.execute(&prog, &g, &[&h, &el, &er], &[], &[], &[], &[]);
         assert!(
             a.outputs[0].approx_eq(&b.outputs[0], 1e-4),
             "diff {}",
@@ -270,10 +303,32 @@ mod tests {
         let prog = gat_aggregation(4, 0.2);
         let plan = stgraph_seastar::differentiate(&prog);
         let ids = plan.save_ids();
-        let a = SeastarBackend.execute(&prog, &g, &[&h, &el, &er], &[], &[], &ids);
-        let b = ReferenceBackend.execute(&prog, &g, &[&h, &el, &er], &[], &[], &ids);
+        let a = SeastarBackend.execute(&prog, &g, &[&h, &el, &er], &[], &[], &[], &ids);
+        let b = ReferenceBackend.execute(&prog, &g, &[&h, &el, &er], &[], &[], &[], &ids);
         for (x, y) in a.saved.iter().zip(&b.saved) {
             assert!(x.approx_eq(y, 1e-4));
         }
+    }
+
+    #[test]
+    fn backends_agree_on_fused_agg_matmul() {
+        let g = snap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let x = Tensor::rand_uniform((6, 5), -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform((5, 3), -1.0, 1.0, &mut rng);
+        let prog = stgraph_seastar::ir::gcn_linear_aggregation(5, 3);
+        let (fused, _) = prog.fuse_agg_matmul(&[]);
+        assert!(fused
+            .nodes
+            .iter()
+            .any(|nd| matches!(nd.op, Op::AggMatmulDst(..))));
+        let norm = Tensor::from_vec((6, 1), gcn_norm(&g.in_degrees));
+        let a = SeastarBackend.execute(&fused, &g, &[&x], &[&norm], &[], &[&w], &[]);
+        let b = ReferenceBackend.execute(&fused, &g, &[&x], &[&norm], &[], &[&w], &[]);
+        assert!(
+            a.outputs[0].approx_eq(&b.outputs[0], 1e-4),
+            "diff {}",
+            a.outputs[0].max_abs_diff(&b.outputs[0])
+        );
     }
 }

@@ -44,6 +44,7 @@ pub fn norm_tensor(snap: &Snapshot) -> Tensor {
 pub struct GcnConv {
     linear: Linear,
     program: Rc<CompiledProgram>,
+    fused: bool,
 }
 
 impl GcnConv {
@@ -58,7 +59,40 @@ impl GcnConv {
         GcnConv {
             linear: Linear::new(params, name, in_features, out_features, true, rng),
             program: compile(gcn_aggregation(out_features)),
+            fused: false,
         }
+    }
+
+    /// A GCN layer whose dense transform is *inside* the vertex program
+    /// ([`stgraph_seastar::ir::gcn_linear_aggregation`]), so the executor's
+    /// aggregate-into-GEMM fusion applies: neighbour features accumulate
+    /// straight into the gate pre-activations in one adjacency pass, never
+    /// materialising the aggregated `[n, in]` tensor.
+    ///
+    /// Opt-in rather than a drop-in swap because the bias lands *after* the
+    /// aggregation (`Â(XW) + b`), whereas [`GcnConv::new`] computes
+    /// `Â(XW + b)`. Both are legitimate GCN formulations (the fused order
+    /// is PyG's), but trained weights are not interchangeable between them.
+    pub fn new_fused(
+        params: &mut ParamSet,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut impl Rng,
+    ) -> GcnConv {
+        GcnConv {
+            linear: Linear::new(params, name, in_features, out_features, true, rng),
+            program: compile(stgraph_seastar::ir::gcn_linear_aggregation(
+                in_features,
+                out_features,
+            )),
+            fused: true,
+        }
+    }
+
+    /// True when built by [`GcnConv::new_fused`].
+    pub fn is_fused(&self) -> bool {
+        self.fused
     }
 
     /// Output width.
@@ -84,8 +118,24 @@ impl GcnConv {
         t: usize,
         x: &Var<'t>,
     ) -> Var<'t> {
-        let h = self.linear.forward(tape, x);
         let snap = exec.snapshot_for(t);
+        if self.fused {
+            let w = tape.param(&self.linear.weight);
+            let y = exec.apply_mats(
+                tape,
+                &self.program,
+                t,
+                &[x],
+                vec![norm_tensor(&snap)],
+                vec![],
+                &[&w],
+            );
+            return match &self.linear.bias {
+                Some(b) => y.add_bias(&tape.param(b)),
+                None => y,
+            };
+        }
+        let h = self.linear.forward(tape, x);
         exec.apply(
             tape,
             &self.program,
@@ -421,6 +471,83 @@ mod tests {
         let numeric = numeric_grad(&mut f, &w0, 1e-2);
         conv.linear.weight.set_value(w0);
         assert_close(&analytic, &numeric, 2e-2);
+    }
+
+    #[test]
+    fn fused_gcn_matches_unfused_with_zero_bias() {
+        // With the bias zeroed the pre- and post-aggregation formulations
+        // coincide: Â(XW) == (ÂX)W up to float association.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut ps = ParamSet::new();
+        let plain = GcnConv::new(&mut ps, "p", 3, 2, &mut rng);
+        let fused = GcnConv::new_fused(&mut ps, "f", 3, 2, &mut rng);
+        assert!(fused.is_fused());
+        fused
+            .linear
+            .weight
+            .set_value(plain.linear.weight.value().clone());
+        plain
+            .linear
+            .bias
+            .as_ref()
+            .unwrap()
+            .set_value(Tensor::zeros((1, 2)));
+        fused
+            .linear
+            .bias
+            .as_ref()
+            .unwrap()
+            .set_value(Tensor::zeros((1, 2)));
+        let x = Tensor::rand_uniform((6, 3), -1.0, 1.0, &mut rng);
+        let e = exec();
+        let tape = Tape::new();
+        let xv = tape.constant(x);
+        let yp = plain.forward(&tape, &e, 0, &xv);
+        let yf = fused.forward(&tape, &e, 1, &xv);
+        assert!(
+            yp.value().approx_eq(yf.value(), 1e-4),
+            "diff {}",
+            yp.value().max_abs_diff(yf.value())
+        );
+        let loss = yp.sum().add(&yf.sum());
+        tape.backward(&loss);
+    }
+
+    #[test]
+    fn fused_gcn_weight_and_input_gradcheck() {
+        // Drives the whole fusion stack: MatmulConst adjoint, reval operand
+        // recomputation, MatUse assembly, and AggMatmul backward kernels.
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut ps = ParamSet::new();
+        let conv = GcnConv::new_fused(&mut ps, "f", 3, 2, &mut rng);
+        let x = Tensor::rand_uniform((6, 3), -1.0, 1.0, &mut rng);
+        let target = Tensor::rand_uniform((6, 2), -1.0, 1.0, &mut rng);
+        let e = exec();
+        let xp = Param::new("x", x.clone());
+        {
+            let tape = Tape::new();
+            let xv = tape.param(&xp);
+            let loss = conv.forward(&tape, &e, 0, &xv).mse_loss(&target);
+            tape.backward(&loss);
+        }
+        for p in [&conv.linear.weight, &xp] {
+            let analytic = p.grad();
+            let p0 = p.value();
+            let e2 = exec();
+            let mut f = |w: &Tensor| {
+                p.set_value(w.clone());
+                let tape = Tape::new();
+                let xv = tape.constant(xp.value().clone());
+                let loss = conv.forward(&tape, &e2, 0, &xv).mse_loss(&target);
+                let v = loss.value().item();
+                // Drain the stacks without polluting accumulated grads.
+                tape.backward(&loss.mul_scalar(0.0));
+                v
+            };
+            let numeric = numeric_grad(&mut f, &p0, 1e-2);
+            p.set_value(p0);
+            assert_close(&analytic, &numeric, 2e-2);
+        }
     }
 
     #[test]

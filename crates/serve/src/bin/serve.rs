@@ -52,7 +52,11 @@ Options:
                           this fail with DeadlineExceeded instead of being
                           answered stale (default off / STGRAPH_SERVE_DEADLINE_MS)
   --seed <n>              RNG seed, must match training (default 42)
-  --verify                check served values bitwise against a direct replay
+  --verify                check served values against a direct f32 replay:
+                          bitwise by default; with --quantize, an accuracy
+                          gate (max|q-f| / max|f| < 0.05) instead
+  --quantize              run inference through the i8 per-row-absmax
+                          quantized matmul path (faster, approximate)
   --trace <path>          enable tracing and write a Chrome trace_event JSON
                           timeline there (chrome://tracing / Perfetto)
   --metrics <path>        write a Prometheus text-exposition snapshot of all
@@ -63,6 +67,13 @@ Fault injection: set STGRAPH_FAULTS (e.g. 'ingest.apply:every=7,seed=42')
 to inject deterministic faults at the checkpoint.write/rename, gpma.update,
 ingest.apply, snapshot.build, pool.alloc and engine.dequeue sites; the
 resilience report line shows recovery activity.";
+
+/// Accuracy gate for `--verify --quantize`: the largest served-vs-replay
+/// error, normalized by the largest replay magnitude, must stay below
+/// this. Matches the metric (and empirical headroom) documented in
+/// `stgraph_tensor::quant` — i8 symmetric quantization of `[n,64]`-ish
+/// operands lands around 1e-2 even after the hidden chain compounds it.
+const QUANT_VERIFY_GATE: f32 = 0.05;
 
 fn parse_args() -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -76,8 +87,8 @@ fn parse_args() -> HashMap<String, String> {
             eprintln!("unexpected argument '{key}' (try --help)");
             std::process::exit(2);
         };
-        if name == "verify" {
-            out.insert("verify".to_string(), "1".to_string());
+        if name == "verify" || name == "quantize" {
+            out.insert(name.to_string(), "1".to_string());
             continue;
         }
         let Some(value) = args.next() else {
@@ -177,6 +188,7 @@ fn main() {
     let total_queries = get(&args, "queries", 1000usize);
     let seed = get(&args, "seed", 42u64);
     let verify = args.contains_key("verify");
+    let quantize = args.contains_key("quantize");
     let trace_path = args.get("trace").cloned();
     let metrics_path = args.get("metrics").cloned();
     if trace_path.is_some() {
@@ -230,6 +242,10 @@ fn main() {
 
     let live = LiveGraph::from_source(&src);
     let mut engine = InferenceEngine::new(cell, feats.clone(), live, "seastar");
+    engine.set_quantize(quantize);
+    if quantize {
+        println!("quantize: serving through the i8 per-row-absmax matmul path");
+    }
     let queue = RequestQueue::new(config.queue_capacity);
     let per_gen = total_queries.div_ceil(generations);
     let diffs = src.diffs();
@@ -278,8 +294,78 @@ fn main() {
         );
     }
 
-    let report = engine.report(elapsed);
+    let mut report = engine.report(elapsed);
+
+    // Run the direct replay before printing the report so the quantized
+    // accuracy delta shows up in the stats block.
+    let verdict = if verify {
+        let (direct_cell, direct_feats) = load_model(
+            &load_path,
+            &model,
+            features,
+            hidden,
+            src.num_nodes,
+            seed,
+            keep,
+        )
+        .expect("checkpoint reloaded for verification");
+        let expected = direct_chain(&src, &direct_feats, direct_cell.as_ref());
+        if quantize {
+            // The replay is full-precision f32; served values carry i8
+            // quantization noise (accumulated through the hidden chain),
+            // so gate the error instead of requiring bit equality. Same
+            // metric as stgraph_tensor::quant: max|q-f| / max|f|.
+            let mut max_abs = 0f32;
+            let mut max_ref = 0f32;
+            for resp in &responses {
+                let want = &expected[resp.generation as usize];
+                for (j, v) in resp.values.iter().enumerate() {
+                    let f = want.at(resp.node as usize, j);
+                    max_abs = max_abs.max((v - f).abs());
+                    max_ref = max_ref.max(f.abs());
+                }
+            }
+            let rel = max_abs / max_ref.max(f32::MIN_POSITIVE);
+            report.quant_max_rel_err = Some(rel);
+            if rel < QUANT_VERIFY_GATE {
+                Some(format!(
+                    "verify: OK — {} responses within quantized gate (max rel err {rel:.4} < {QUANT_VERIFY_GATE})",
+                    responses.len()
+                ))
+            } else {
+                eprintln!(
+                    "verify: FAILED — quantized max rel err {rel:.4} exceeds gate {QUANT_VERIFY_GATE}"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            let mut mismatches = 0usize;
+            for resp in &responses {
+                let want = &expected[resp.generation as usize];
+                for (j, v) in resp.values.iter().enumerate() {
+                    if v.to_bits() != want.at(resp.node as usize, j).to_bits() {
+                        mismatches += 1;
+                    }
+                }
+            }
+            if mismatches == 0 {
+                Some(format!(
+                    "verify: OK — {} responses bit-identical to direct replay",
+                    responses.len()
+                ))
+            } else {
+                eprintln!("verify: FAILED — {mismatches} value mismatches");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
     print!("{report}");
+    if let Some(line) = verdict {
+        println!("{line}");
+    }
 
     if let Some(path) = &trace_path {
         match stgraph_telemetry::export::write_chrome_trace(path) {
@@ -297,38 +383,6 @@ fn main() {
                 eprintln!("failed to write metrics to {path}: {e}");
                 std::process::exit(1);
             }
-        }
-    }
-
-    if verify {
-        let (direct_cell, direct_feats) = load_model(
-            &load_path,
-            &model,
-            features,
-            hidden,
-            src.num_nodes,
-            seed,
-            keep,
-        )
-        .expect("checkpoint reloaded for verification");
-        let expected = direct_chain(&src, &direct_feats, direct_cell.as_ref());
-        let mut mismatches = 0usize;
-        for resp in &responses {
-            let want = &expected[resp.generation as usize];
-            for (j, v) in resp.values.iter().enumerate() {
-                if v.to_bits() != want.at(resp.node as usize, j).to_bits() {
-                    mismatches += 1;
-                }
-            }
-        }
-        if mismatches == 0 {
-            println!(
-                "verify: OK — {} responses bit-identical to direct replay",
-                responses.len()
-            );
-        } else {
-            eprintln!("verify: FAILED — {mismatches} value mismatches");
-            std::process::exit(1);
         }
     }
 }

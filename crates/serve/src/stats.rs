@@ -102,6 +102,13 @@ pub struct ServeReport {
     /// Faults injected process-wide (the `faults.injected` counter) —
     /// nonzero only when `STGRAPH_FAULTS` or a programmatic plan is armed.
     pub faults_injected: u64,
+    /// Whether forwards ran through the i8 quantized matmul path.
+    pub quantized: bool,
+    /// Accuracy delta of the quantized run vs an f32 direct replay:
+    /// `max|q − f| / max|f|` over every served value (the metric from
+    /// [`stgraph_tensor::quant`]). Filled in by `serve --verify
+    /// --quantize`; `None` when no replay was checked.
+    pub quant_max_rel_err: Option<f32>,
 }
 
 impl ServeReport {
@@ -174,6 +181,15 @@ impl fmt::Display for ServeReport {
             self.ingest.rollbacks,
             self.faults_injected,
         )?;
+        if self.quantized {
+            match self.quant_max_rel_err {
+                Some(err) => writeln!(
+                    f,
+                    "quantize: i8 inference, max rel err {err:.4} vs f32 replay"
+                )?,
+                None => writeln!(f, "quantize: i8 inference (accuracy unchecked)")?,
+            }
+        }
         writeln!(
             f,
             "buffer pool: {} hits / {} misses, {} recycled, {} cached, {} trimmed",
@@ -262,6 +278,8 @@ mod tests {
             expired: 2,
             panics: 1,
             faults_injected: 0,
+            quantized: false,
+            quant_max_rel_err: None,
         };
         assert!((report.throughput_qps() - 50.0).abs() < 1e-9);
         assert!((report.mean_batch_size() - 10.0).abs() < 1e-9);
@@ -270,5 +288,16 @@ mod tests {
         assert!(text.contains("p99 2.00ms"));
         assert!(text.contains("50 q/s"));
         assert!(text.contains("resilience: 3 shed, 2 expired, 1 panics recovered"));
+        assert!(
+            !text.contains("quantize:"),
+            "f32 runs print no quantize line"
+        );
+        let mut q = report.clone();
+        q.quantized = true;
+        q.quant_max_rel_err = Some(0.0123);
+        let text = format!("{q}");
+        assert!(text.contains("quantize: i8 inference, max rel err 0.0123 vs f32 replay"));
+        q.quant_max_rel_err = None;
+        assert!(format!("{q}").contains("quantize: i8 inference (accuracy unchecked)"));
     }
 }

@@ -1,0 +1,200 @@
+//! Opt-in int8 quantized inference for dense matmuls.
+//!
+//! Symmetric per-row / per-column absmax quantization: each activation row
+//! and each weight column is mapped to i8 with its own scale
+//! `absmax / 127`, products accumulate in i32, and results dequantize with
+//! the product of the two scales. There is no calibration state — weights
+//! are quantized per call (`O(k·m)`, negligible next to the `O(n·k·m)`
+//! matmul) — so the path is a pure runtime switch with no model changes.
+//!
+//! The switch is a **thread-local** flag ([`set_quantized_inference`] /
+//! [`QuantGuard`]) read by [`Tensor::matmul`] at entry on the calling
+//! thread. Thread-local rather than global so a serving engine can run
+//! quantized while tests or a verification pass on other threads still get
+//! exact f32 matmuls. It is inference-only by construction: gradients never
+//! flow through serve's forward pass, and training code never sets the
+//! flag.
+
+use crate::tensor::par_min;
+use crate::{Shape, Tensor};
+use rayon::prelude::*;
+use std::cell::Cell;
+
+thread_local! {
+    static QUANTIZED_INFERENCE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when quantized inference is enabled on the calling thread.
+pub fn quantized_inference() -> bool {
+    QUANTIZED_INFERENCE.with(|c| c.get())
+}
+
+/// Sets the calling thread's quantized-inference flag, returning the
+/// previous value. Prefer [`QuantGuard`] for scoped use.
+pub fn set_quantized_inference(on: bool) -> bool {
+    QUANTIZED_INFERENCE.with(|c| c.replace(on))
+}
+
+/// RAII scope for quantized inference: enables the flag on construction and
+/// restores the previous value on drop (panic-safe).
+pub struct QuantGuard {
+    prev: bool,
+}
+
+impl QuantGuard {
+    /// Enables quantized inference on the calling thread until drop.
+    pub fn enable() -> Self {
+        QuantGuard {
+            prev: set_quantized_inference(true),
+        }
+    }
+}
+
+impl Drop for QuantGuard {
+    fn drop(&mut self) {
+        set_quantized_inference(self.prev);
+    }
+}
+
+/// Quantizes one f32 row to i8 with a symmetric absmax scale. Returns the
+/// scale (1.0 for an all-zero row, so dequantization stays exact).
+fn quantize_row(dst: &mut [i8], src: &[f32]) -> f32 {
+    let absmax = src.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+    let s = if absmax == 0.0 { 1.0 } else { absmax / 127.0 };
+    let inv = 1.0 / s;
+    for (q, &x) in dst.iter_mut().zip(src) {
+        *q = (x * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    s
+}
+
+/// A weight matrix quantized to i8 with per-column scales, stored
+/// transposed (`[m, k]` row-major) so the i8 dot products stream
+/// contiguously.
+pub struct QuantizedMat {
+    qt: Vec<i8>,
+    scales: Vec<f32>,
+    k: usize,
+    m: usize,
+}
+
+impl QuantizedMat {
+    /// Quantizes `w` (`[k, m]`) column-wise with per-column absmax scales.
+    pub fn quantize(w: &Tensor) -> Self {
+        let (k, m) = (w.rows(), w.cols());
+        let wt = w.transpose();
+        let wd = wt.data();
+        let mut qt = vec![0i8; m * k];
+        let mut scales = vec![0.0f32; m];
+        for (j, s) in scales.iter_mut().enumerate() {
+            *s = quantize_row(&mut qt[j * k..(j + 1) * k], &wd[j * k..(j + 1) * k]);
+        }
+        QuantizedMat { qt, scales, k, m }
+    }
+
+    /// Output columns.
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    /// Inner (reduction) dimension.
+    pub fn inner(&self) -> usize {
+        self.k
+    }
+}
+
+/// `x @ w` computed through the int8 path: `x` rows and `w` columns are
+/// absmax-quantized, dots accumulate in i32, and each output dequantizes
+/// with the product of its row and column scales. Row-parallel like the f32
+/// matmul; fully deterministic (integer accumulation has no rounding at
+/// all for `k ≤ ~130k`).
+pub fn quantized_matmul(x: &Tensor, w: &Tensor) -> Tensor {
+    let (n, k) = (x.rows(), x.cols());
+    assert_eq!(
+        w.rows(),
+        k,
+        "quantized matmul {}x{} @ {}x{}",
+        n,
+        k,
+        w.rows(),
+        w.cols()
+    );
+    let qw = QuantizedMat::quantize(w);
+    let m = qw.m;
+    let xd = x.data();
+    let mut out = vec![0.0f32; n * m];
+    let row_body = |(i, orow): (usize, &mut [f32])| {
+        let mut qx = vec![0i8; k];
+        let sx = quantize_row(&mut qx, &xd[i * k..(i + 1) * k]);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let wrow = &qw.qt[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&a, &b) in qx.iter().zip(wrow) {
+                acc += a as i32 * b as i32;
+            }
+            *o = acc as f32 * sx * qw.scales[j];
+        }
+    };
+    if n * k * m >= par_min() {
+        out.par_chunks_mut(m).enumerate().for_each(row_body);
+    } else {
+        out.chunks_mut(m).enumerate().for_each(row_body);
+    }
+    Tensor::from_vec(Shape::Mat(n, m), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Largest absolute error normalised by the largest exact magnitude —
+    /// the scale-free accuracy metric serve's `--verify` gate also uses.
+    /// (A pointwise relative error would explode at the output's zero
+    /// crossings, where symmetric quantization noise dominates any f32
+    /// value.)
+    fn max_rel_err(q: &Tensor, f: &Tensor) -> f32 {
+        let scale = f.data().iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        q.data()
+            .iter()
+            .zip(f.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+            / scale.max(f32::MIN_POSITIVE)
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_f32_within_a_percent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let x = Tensor::rand_uniform((17, 64), -2.0, 2.0, &mut rng);
+        let w = Tensor::rand_uniform((64, 23), -1.0, 1.0, &mut rng);
+        let exact = x.matmul(&w);
+        let quant = quantized_matmul(&x, &w);
+        let err = max_rel_err(&quant, &exact);
+        assert!(err < 0.05, "max rel err {err}");
+    }
+
+    #[test]
+    fn zero_inputs_stay_exactly_zero() {
+        let x = Tensor::zeros((3, 8));
+        let w = Tensor::zeros((8, 4));
+        assert_eq!(quantized_matmul(&x, &w).to_vec(), vec![0.0; 12]);
+    }
+
+    #[test]
+    fn flag_routes_matmul_and_guard_restores() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let x = Tensor::rand_uniform((5, 16), -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform((16, 3), -1.0, 1.0, &mut rng);
+        assert!(!quantized_inference());
+        let quantized = {
+            let _g = QuantGuard::enable();
+            assert!(quantized_inference());
+            x.matmul(&w)
+        };
+        assert!(!quantized_inference(), "guard must restore the flag");
+        assert_eq!(quantized.to_vec(), quantized_matmul(&x, &w).to_vec());
+        assert_ne!(quantized.to_vec(), x.matmul(&w).to_vec());
+    }
+}

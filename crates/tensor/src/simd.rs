@@ -1,0 +1,210 @@
+//! Portable 8-lane `f32` SIMD for the dense kernels.
+//!
+//! [`F32x8`] is an array-of-8 newtype whose lane ops are written as plain
+//! per-lane IEEE arithmetic in `#[inline(always)]` methods: the compiler
+//! autovectorizes them to whatever the target offers (SSE pairs, one AVX
+//! register, NEON pairs) without any `unsafe` or target-feature detection.
+//! Because each lane performs *exactly* the scalar op — [`F32x8::mul_add`]
+//! is deliberately `a * b + c`, never a fused hardware FMA — a kernel that
+//! applies the same op per element produces bitwise-identical results on
+//! the SIMD and scalar paths. Only kernels that change the *association* of
+//! a reduction (the multi-accumulator matmul) can differ, and those are
+//! epsilon-gated in tests rather than bitwise-compared.
+//!
+//! Runtime dispatch: every SIMD-ized kernel consults [`enabled`] once per
+//! call and falls back to its scalar loop when `STGRAPH_NO_SIMD` is set.
+//! The flag exists so CI can prove both paths green and so a miscompile on
+//! an exotic target can be worked around without rebuilding.
+
+/// Lane count of [`F32x8`]. Kernels peel `len / LANES * LANES` elements
+/// through lane ops and finish the remainder with the scalar loop.
+pub const LANES: usize = 8;
+
+/// Whether the SIMD lane paths are active. `true` unless the
+/// `STGRAPH_NO_SIMD` environment variable is set to anything other than
+/// `0` (read once at first use, like `STGRAPH_PAR_MIN`).
+pub fn enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("STGRAPH_NO_SIMD") {
+        Ok(v) => v == "0" || v.is_empty(),
+        Err(_) => true,
+    })
+}
+
+/// Whether the AVX2+FMA specializations of the *reduction* kernels (the
+/// matmul row microkernel) may run. The portable lanes already saturate
+/// memory-bound elementwise ops, but a baseline x86-64 build lowers them
+/// to SSE mul+add pairs — for the FLOP-bound GEMM that leaves the wider
+/// registers and the FMA units idle, so the row kernel escapes to a
+/// hand-written AVX2 variant when the CPU has it. Only reassociation-
+/// tolerant (epsilon-gated) kernels may consult this: FMA contraction
+/// changes rounding, which the elementwise bitwise contract forbids.
+/// `false` whenever [`enabled`] is false, so `STGRAPH_NO_SIMD` still
+/// forces the one true scalar path. Detection is cached, keeping every
+/// dispatch decision process-stable (fused and unfused kernels always
+/// agree bit-for-bit).
+pub fn avx2_fma() -> bool {
+    static OK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *OK.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            enabled()
+                && std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// Eight `f32` lanes with element-wise arithmetic.
+///
+/// 32-byte aligned so an AVX load/store of the whole value is natural; the
+/// slice constructors still go through safe unaligned copies, which the
+/// compiler lowers to unaligned vector moves.
+#[derive(Clone, Copy, Debug)]
+#[repr(align(32))]
+pub struct F32x8(pub [f32; LANES]);
+
+// Inherent `add`/`sub`/`mul`/`div` are deliberate: the lane API stays one
+// uniform family with `max`/`min`/`mul_add`, which have no operator form.
+#[allow(clippy::should_implement_trait)]
+impl F32x8 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f32) -> F32x8 {
+        F32x8([v; LANES])
+    }
+
+    /// Loads the first [`LANES`] elements of `s`.
+    #[inline(always)]
+    pub fn load(s: &[f32]) -> F32x8 {
+        let mut out = [0.0f32; LANES];
+        out.copy_from_slice(&s[..LANES]);
+        F32x8(out)
+    }
+
+    /// Stores the lanes into the first [`LANES`] elements of `d`.
+    #[inline(always)]
+    pub fn store(self, d: &mut [f32]) {
+        d[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// Lane-wise sum.
+    #[inline(always)]
+    pub fn add(self, o: F32x8) -> F32x8 {
+        let mut r = self.0;
+        for (x, y) in r.iter_mut().zip(&o.0) {
+            *x += y;
+        }
+        F32x8(r)
+    }
+
+    /// Lane-wise difference.
+    #[inline(always)]
+    pub fn sub(self, o: F32x8) -> F32x8 {
+        let mut r = self.0;
+        for (x, y) in r.iter_mut().zip(&o.0) {
+            *x -= y;
+        }
+        F32x8(r)
+    }
+
+    /// Lane-wise product.
+    #[inline(always)]
+    pub fn mul(self, o: F32x8) -> F32x8 {
+        let mut r = self.0;
+        for (x, y) in r.iter_mut().zip(&o.0) {
+            *x *= y;
+        }
+        F32x8(r)
+    }
+
+    /// Lane-wise quotient.
+    #[inline(always)]
+    pub fn div(self, o: F32x8) -> F32x8 {
+        let mut r = self.0;
+        for (x, y) in r.iter_mut().zip(&o.0) {
+            *x /= y;
+        }
+        F32x8(r)
+    }
+
+    /// Lane-wise `self * b + c` as *separate* multiply and add (two
+    /// roundings), so results stay bitwise-equal to the scalar loops.
+    #[inline(always)]
+    pub fn mul_add(self, b: F32x8, c: F32x8) -> F32x8 {
+        let mut r = c.0;
+        for ((x, a), m) in r.iter_mut().zip(&self.0).zip(&b.0) {
+            *x += a * m;
+        }
+        F32x8(r)
+    }
+
+    /// Lane-wise maximum (`f32::max` semantics, NaN-ignoring).
+    #[inline(always)]
+    pub fn max(self, o: F32x8) -> F32x8 {
+        let mut r = self.0;
+        for (x, y) in r.iter_mut().zip(&o.0) {
+            *x = x.max(*y);
+        }
+        F32x8(r)
+    }
+
+    /// Lane-wise minimum (`f32::min` semantics, NaN-ignoring).
+    #[inline(always)]
+    pub fn min(self, o: F32x8) -> F32x8 {
+        let mut r = self.0;
+        for (x, y) in r.iter_mut().zip(&o.0) {
+            *x = x.min(*y);
+        }
+        F32x8(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_ops_match_scalar_bitwise() {
+        let a = F32x8([1.5, -2.25, 3.0, 0.1, -0.7, 1e-8, 1e8, -0.0]);
+        let b = F32x8([0.3, 4.0, -1.5, 2.2, 0.9, 3e7, 1e-8, 7.0]);
+        for i in 0..LANES {
+            assert_eq!(a.add(b).0[i].to_bits(), (a.0[i] + b.0[i]).to_bits());
+            assert_eq!(a.sub(b).0[i].to_bits(), (a.0[i] - b.0[i]).to_bits());
+            assert_eq!(a.mul(b).0[i].to_bits(), (a.0[i] * b.0[i]).to_bits());
+            assert_eq!(a.div(b).0[i].to_bits(), (a.0[i] / b.0[i]).to_bits());
+            assert_eq!(a.max(b).0[i].to_bits(), a.0[i].max(b.0[i]).to_bits());
+            assert_eq!(a.min(b).0[i].to_bits(), a.0[i].min(b.0[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_add_uses_two_roundings() {
+        let a = F32x8::splat(1.000_000_1);
+        let b = F32x8::splat(1.000_000_1);
+        let c = F32x8::splat(-1.0);
+        // Separate mul-then-add, not fused: must equal the two-rounding
+        // scalar expression exactly.
+        let want = (1.000_000_1f32 * 1.000_000_1f32) + -1.0f32;
+        assert_eq!(a.mul_add(b, c).0[0].to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let v = F32x8::load(&src);
+        let mut dst = [0.0f32; 9];
+        v.store(&mut dst);
+        assert_eq!(&dst[..8], &src[..8]);
+        assert_eq!(dst[8], 0.0);
+    }
+
+    #[test]
+    fn splat_fills_lanes() {
+        assert_eq!(F32x8::splat(2.5).0, [2.5; LANES]);
+    }
+}

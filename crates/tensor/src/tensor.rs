@@ -8,6 +8,7 @@
 
 use crate::mem::TrackedBuf;
 use crate::shape::Shape;
+use crate::simd::{self, F32x8, LANES};
 use rand::Rng;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -226,6 +227,10 @@ impl Tensor {
 
     // ---------- kernel helpers ----------
 
+    /// Generic per-element map for ops without a lane form (transcendentals
+    /// and branchy activations). The slice re-borrows here hoist the Arc
+    /// deref out of the loop; the zip keeps the body bounds-check free.
+    #[inline]
     fn unary(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let src = self.data();
         let mut out = TrackedBuf::raw(src.len());
@@ -245,7 +250,59 @@ impl Tensor {
         }
     }
 
-    fn binary(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    /// Lane-dispatched unary map: `lane` over [`LANES`]-wide chunks when
+    /// SIMD is enabled, `scalar` for the remainder and the
+    /// `STGRAPH_NO_SIMD` fallback. Both closures must compute the same
+    /// per-element IEEE expression so the two paths stay bitwise equal.
+    #[inline]
+    fn unary_lanes(
+        &self,
+        lane: impl Fn(F32x8) -> F32x8 + Sync,
+        scalar: impl Fn(f32) -> f32 + Sync,
+    ) -> Tensor {
+        let src = self.data();
+        let mut out = TrackedBuf::raw(src.len());
+        let dst = out.as_mut_slice();
+        let use_simd = simd::enabled();
+        let body = |(d, s): (&mut [f32], &[f32])| {
+            if use_simd {
+                let main = s.len() / LANES * LANES;
+                let (dm, dt) = d.split_at_mut(main);
+                let mut sc = s.chunks_exact(LANES);
+                for (dc, sc) in dm.chunks_exact_mut(LANES).zip(sc.by_ref()) {
+                    lane(F32x8::load(sc)).store(dc);
+                }
+                for (d, &s) in dt.iter_mut().zip(sc.remainder()) {
+                    *d = scalar(s);
+                }
+            } else {
+                for (d, &s) in d.iter_mut().zip(s) {
+                    *d = scalar(s);
+                }
+            }
+        };
+        if src.len() >= par_min() {
+            dst.par_chunks_mut(ELEMWISE_BLOCK)
+                .zip(src.par_chunks(ELEMWISE_BLOCK))
+                .for_each(body);
+        } else {
+            body((dst, src));
+        }
+        Tensor {
+            buf: Arc::new(out),
+            shape: self.shape,
+        }
+    }
+
+    /// Lane-dispatched binary map; see [`Tensor::unary_lanes`] for the
+    /// bitwise contract between `lane` and `scalar`.
+    #[inline]
+    fn binary_lanes(
+        &self,
+        other: &Tensor,
+        lane: impl Fn(F32x8, F32x8) -> F32x8 + Sync,
+        scalar: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Tensor {
         assert_eq!(
             self.shape, other.shape,
             "elementwise op on mismatched shapes {} vs {}",
@@ -255,14 +312,34 @@ impl Tensor {
         let b = other.data();
         let mut out = TrackedBuf::raw(a.len());
         let dst = out.as_mut_slice();
-        if a.len() >= par_min() {
-            dst.par_iter_mut()
-                .zip(a.par_iter().zip(b.par_iter()))
-                .for_each(|(d, (&x, &y))| *d = f(x, y));
-        } else {
-            for i in 0..a.len() {
-                dst[i] = f(a[i], b[i]);
+        let use_simd = simd::enabled();
+        let body = |(d, (a, b)): (&mut [f32], (&[f32], &[f32]))| {
+            if use_simd {
+                let main = a.len() / LANES * LANES;
+                let (dm, dt) = d.split_at_mut(main);
+                let mut ac = a.chunks_exact(LANES);
+                let mut bc = b.chunks_exact(LANES);
+                for (dc, (ac, bc)) in dm.chunks_exact_mut(LANES).zip(ac.by_ref().zip(bc.by_ref())) {
+                    lane(F32x8::load(ac), F32x8::load(bc)).store(dc);
+                }
+                for (d, (&x, &y)) in dt.iter_mut().zip(ac.remainder().iter().zip(bc.remainder())) {
+                    *d = scalar(x, y);
+                }
+            } else {
+                for (d, (&x, &y)) in d.iter_mut().zip(a.iter().zip(b)) {
+                    *d = scalar(x, y);
+                }
             }
+        };
+        if a.len() >= par_min() {
+            dst.par_chunks_mut(ELEMWISE_BLOCK)
+                .zip(
+                    a.par_chunks(ELEMWISE_BLOCK)
+                        .zip(b.par_chunks(ELEMWISE_BLOCK)),
+                )
+                .for_each(body);
+        } else {
+            body((dst, (a, b)));
         }
         Tensor {
             buf: Arc::new(out),
@@ -279,32 +356,32 @@ impl Tensor {
 
     /// Elementwise sum with a same-shape tensor.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.binary(other, |a, b| a + b)
+        self.binary_lanes(other, |a, b| a.add(b), |a, b| a + b)
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.binary(other, |a, b| a - b)
+        self.binary_lanes(other, |a, b| a.sub(b), |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.binary(other, |a, b| a * b)
+        self.binary_lanes(other, |a, b| a.mul(b), |a, b| a * b)
     }
 
     /// Elementwise quotient.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.binary(other, |a, b| a / b)
+        self.binary_lanes(other, |a, b| a.div(b), |a, b| a / b)
     }
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.unary(|x| x + s)
+        self.unary_lanes(move |x| x.add(F32x8::splat(s)), move |x| x + s)
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        self.unary(|x| x * s)
+        self.unary_lanes(move |x| x.mul(F32x8::splat(s)), move |x| x * s)
     }
 
     /// Elementwise exponential.
@@ -324,7 +401,7 @@ impl Tensor {
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
-        self.unary(|x| x * x)
+        self.unary_lanes(|x| x.mul(x), |x| x * x)
     }
 
     /// Logistic sigmoid.
@@ -339,7 +416,7 @@ impl Tensor {
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        self.unary(|x| x.max(0.0))
+        self.unary_lanes(|x| x.max(F32x8::splat(0.0)), |x| x.max(0.0))
     }
 
     /// Leaky ReLU with negative slope `slope`.
@@ -358,9 +435,16 @@ impl Tensor {
     ///
     /// Row-parallel (the vertex-parallel decomposition of a GPU GEMM over n),
     /// with each row computed by a k-blocked, 8-wide register-tiled
-    /// microkernel — see [`matmul_row`]. Results are deterministic: the
-    /// per-element summation order depends only on the shapes.
+    /// microkernel — [`matmul_row_simd`] when SIMD is enabled,
+    /// [`matmul_row`] under `STGRAPH_NO_SIMD`. Results are deterministic:
+    /// the per-element summation order depends only on the shapes (and the
+    /// dispatch path), never on the thread count. The two paths associate
+    /// the k-reduction differently, so they agree to a relative epsilon,
+    /// not bitwise.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        if crate::quant::quantized_inference() {
+            return crate::quant::quantized_matmul(self, other);
+        }
         let (n, k) = self.shape.as_mat();
         let (k2, m) = other.shape.as_mat();
         assert_eq!(k, k2, "matmul {} x {}", self.shape, other.shape);
@@ -368,7 +452,12 @@ impl Tensor {
         let b = other.data();
         let mut out = TrackedBuf::raw(n * m);
         let work = n * m * k;
-        let body = |(i, row): (usize, &mut [f32])| matmul_row(row, &a[i * k..(i + 1) * k], b, m);
+        let row_kernel = if simd::enabled() {
+            matmul_row_simd
+        } else {
+            matmul_row
+        };
+        let body = |(i, row): (usize, &mut [f32])| row_kernel(row, &a[i * k..(i + 1) * k], b, m);
         if work >= par_min() {
             out.as_mut_slice()
                 .par_chunks_mut(m)
@@ -384,23 +473,41 @@ impl Tensor {
     }
 
     /// Matrix transpose (materialised).
+    ///
+    /// Cache-blocked on both the parallel and sequential paths: the source
+    /// is swept in [`TRANSPOSE_BLOCK`]² tiles so each tile's strided writes
+    /// land in an L1-resident window instead of thrashing one cache line
+    /// per element. Pure data movement — no SIMD dispatch needed, both
+    /// paths are the same loop.
     pub fn transpose(&self) -> Tensor {
         let (n, m) = self.shape.as_mat();
         let a = self.data();
         let mut out = TrackedBuf::raw(n * m);
         let dst = out.as_mut_slice();
-        if n * m >= par_min() {
-            dst.par_chunks_mut(n).enumerate().for_each(|(j, col)| {
-                for (i, slot) in col.iter_mut().enumerate() {
-                    *slot = a[i * m + j];
+        // Each chunk is TRANSPOSE_BLOCK output rows (= source columns).
+        let body = |(blk, chunk): (usize, &mut [f32])| {
+            let j0 = blk * TRANSPOSE_BLOCK;
+            let jb = chunk.len() / n;
+            let mut i0 = 0;
+            while i0 < n {
+                let iend = (i0 + TRANSPOSE_BLOCK).min(n);
+                for i in i0..iend {
+                    let arow = &a[i * m + j0..i * m + j0 + jb];
+                    for (dj, &v) in arow.iter().enumerate() {
+                        chunk[dj * n + i] = v;
+                    }
                 }
-            });
-        } else {
-            for i in 0..n {
-                for j in 0..m {
-                    dst[j * n + i] = a[i * m + j];
-                }
+                i0 = iend;
             }
+        };
+        if n * m >= par_min() {
+            dst.par_chunks_mut(TRANSPOSE_BLOCK * n)
+                .enumerate()
+                .for_each(body);
+        } else {
+            dst.chunks_mut(TRANSPOSE_BLOCK * n)
+                .enumerate()
+                .for_each(body);
         }
         Tensor {
             buf: Arc::new(out),
@@ -411,6 +518,7 @@ impl Tensor {
     // ---------- broadcasts ----------
 
     /// Adds a length-`cols` bias vector to every row of a matrix.
+    /// Lane-dispatched along each row; bitwise-equal on both paths.
     pub fn add_bias(&self, bias: &Tensor) -> Tensor {
         let (_, m) = self.shape.as_mat();
         assert_eq!(
@@ -423,9 +531,23 @@ impl Tensor {
         let a = self.data();
         let mut out = TrackedBuf::raw(a.len());
         let dst = out.as_mut_slice();
+        let use_simd = simd::enabled();
         let body = |(_i, (drow, arow)): (usize, (&mut [f32], &[f32]))| {
-            for j in 0..m {
-                drow[j] = arow[j] + b[j];
+            if use_simd {
+                let main = m / LANES * LANES;
+                let (dm, dt) = drow.split_at_mut(main);
+                let mut ac = arow.chunks_exact(LANES);
+                let mut bc = b.chunks_exact(LANES);
+                for (dc, (ac, bc)) in dm.chunks_exact_mut(LANES).zip(ac.by_ref().zip(bc.by_ref())) {
+                    F32x8::load(ac).add(F32x8::load(bc)).store(dc);
+                }
+                for (d, (&x, &bv)) in dt.iter_mut().zip(ac.remainder().iter().zip(bc.remainder())) {
+                    *d = x + bv;
+                }
+            } else {
+                for (d, (&x, &bv)) in drow.iter_mut().zip(arow.iter().zip(b)) {
+                    *d = x + bv;
+                }
             }
         };
         if a.len() >= par_min() {
@@ -446,6 +568,7 @@ impl Tensor {
     }
 
     /// Scales row `i` of a matrix by `s[i]` (per-node normalisation).
+    /// Lane-dispatched along each row; bitwise-equal on both paths.
     pub fn scale_rows(&self, s: &Tensor) -> Tensor {
         let (n, m) = self.shape.as_mat();
         assert_eq!(s.numel(), n, "scale_rows: scale {} vs rows {n}", s.shape());
@@ -453,10 +576,24 @@ impl Tensor {
         let a = self.data();
         let mut out = TrackedBuf::raw(a.len());
         let dst = out.as_mut_slice();
+        let use_simd = simd::enabled();
         let body = |(i, (drow, arow)): (usize, (&mut [f32], &[f32]))| {
             let f = sv[i];
-            for j in 0..m {
-                drow[j] = arow[j] * f;
+            if use_simd {
+                let fx = F32x8::splat(f);
+                let main = m / LANES * LANES;
+                let (dm, dt) = drow.split_at_mut(main);
+                let mut ac = arow.chunks_exact(LANES);
+                for (dc, ac) in dm.chunks_exact_mut(LANES).zip(ac.by_ref()) {
+                    F32x8::load(ac).mul(fx).store(dc);
+                }
+                for (d, &x) in dt.iter_mut().zip(ac.remainder()) {
+                    *d = x * f;
+                }
+            } else {
+                for (d, &x) in drow.iter_mut().zip(arow) {
+                    *d = x * f;
+                }
             }
         };
         if a.len() >= par_min() {
@@ -643,6 +780,16 @@ impl Tensor {
     }
 }
 
+/// Elements per rayon task in the lane-dispatched elementwise kernels.
+/// A multiple of [`LANES`] so only the final block carries a scalar
+/// remainder; big enough that task hand-off stays negligible.
+const ELEMWISE_BLOCK: usize = 4096;
+
+/// Tile edge of the cache-blocked transpose: a 32×32 f32 tile is 4 KiB, so
+/// source reads and (strided) destination writes both stay L1-resident
+/// while the tile is swept.
+const TRANSPOSE_BLOCK: usize = 32;
+
 /// k-block depth of the matmul microkernel. A block touches an
 /// 8-column × 256-row panel of B (8 KiB) plus a 1 KiB stripe of the A row —
 /// both stay resident in a 32 KiB L1d across the panel sweep.
@@ -662,6 +809,7 @@ const MATMUL_JW: usize = 8;
 /// fall back to the untiled update. Summation order per element is fixed by
 /// the shapes, keeping results bit-deterministic under any thread count.
 fn matmul_row(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
+    debug_assert_eq!(row.len(), m);
     row.fill(0.0);
     let k = arow.len();
     let mut k0 = 0;
@@ -690,6 +838,200 @@ fn matmul_row(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
         }
         k0 = kend;
     }
+}
+
+/// SIMD variant of [`matmul_row`]: one [`F32x8`] of output columns per
+/// j-tile, with the k-reduction split across four independent lane
+/// accumulators so the loop is bounded by multiply/add *throughput* rather
+/// than the latency of one serial accumulate chain. The accumulators are
+/// combined in a fixed order at the end of each k-block, so results are
+/// still bit-deterministic under any thread count — but the reassociation
+/// means they differ from [`matmul_row`] by rounding (epsilon-gated in
+/// tests, never bitwise-compared).
+fn matmul_row_simd(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma() {
+        // SAFETY: AVX2+FMA presence was verified at runtime (cached), so
+        // the target_feature codegen of the callee is valid on this CPU.
+        unsafe { matmul_row_avx2(row, arow, b, m) };
+        return;
+    }
+    matmul_row_portable(row, arow, b, m)
+}
+
+/// The portable-lane body of [`matmul_row_simd`]: compiles on every
+/// target, autovectorizing to whatever the baseline ISA offers.
+fn matmul_row_portable(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
+    debug_assert_eq!(row.len(), m);
+    row.fill(0.0);
+    let k = arow.len();
+    let mut k0 = 0;
+    while k0 < k {
+        let kend = (k0 + MATMUL_KB).min(k);
+        let k4 = (kend - k0) / 4 * 4;
+        let mut j0 = 0;
+        while j0 + LANES <= m {
+            let mut acc0 = F32x8::load(&row[j0..]);
+            let mut acc1 = F32x8::splat(0.0);
+            let mut acc2 = F32x8::splat(0.0);
+            let mut acc3 = F32x8::splat(0.0);
+            let mut kk = k0;
+            while kk < k0 + k4 {
+                acc0 = F32x8::splat(arow[kk]).mul_add(F32x8::load(&b[kk * m + j0..]), acc0);
+                acc1 =
+                    F32x8::splat(arow[kk + 1]).mul_add(F32x8::load(&b[(kk + 1) * m + j0..]), acc1);
+                acc2 =
+                    F32x8::splat(arow[kk + 2]).mul_add(F32x8::load(&b[(kk + 2) * m + j0..]), acc2);
+                acc3 =
+                    F32x8::splat(arow[kk + 3]).mul_add(F32x8::load(&b[(kk + 3) * m + j0..]), acc3);
+                kk += 4;
+            }
+            for kr in k0 + k4..kend {
+                acc0 = F32x8::splat(arow[kr]).mul_add(F32x8::load(&b[kr * m + j0..]), acc0);
+            }
+            acc0.add(acc1).add(acc2.add(acc3)).store(&mut row[j0..]);
+            j0 += LANES;
+        }
+        if j0 < m {
+            // Columns past the last full lane tile: same untiled update as
+            // the scalar microkernel's remainder.
+            for (kk, &av) in arow[k0..kend].iter().enumerate() {
+                let brow = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
+                for (x, &bv) in row[j0..].iter_mut().zip(&brow[j0..]) {
+                    *x += av * bv;
+                }
+            }
+        }
+        k0 = kend;
+    }
+}
+
+/// AVX2+FMA specialization of the row microkernel: identical j-tile /
+/// k-block structure to [`matmul_row_portable`], but each 8-column tile is
+/// one `ymm` register and each multiply-add is a hardware `vfmaddps`. A
+/// baseline x86-64 build cannot emit these (the portable lanes lower to
+/// SSE pairs without contraction), so this is where the GEMM's headroom
+/// on modern x86 actually lives. FMA changes rounding versus the portable
+/// path — permitted because matmul reductions are epsilon-gated, never
+/// bitwise-compared; dispatch is cached so every kernel in a process
+/// (fused and unfused alike) picks the same variant.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matmul_row_avx2(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(row.len(), m);
+    row.fill(0.0);
+    let k = arow.len();
+    let bp = b.as_ptr();
+    if m > 2 * MATMUL_JW * LANES {
+        // Wide outputs: the narrow j-tile below would re-stream the whole
+        // B panel once per 8-column strip (m/8 strided traversals). Flip
+        // to the axpy form `row += arow[kk] · B[kk, ·]` instead — B is
+        // streamed exactly once, contiguously, and the output row (4 B
+        // per column) stays L1-resident as the accumulator. Dependent
+        // updates to one column are m/8 vector ops apart, so the FMA
+        // chain never stalls at these widths.
+        for (kk, &av) in arow.iter().enumerate() {
+            let avv = _mm256_set1_ps(av);
+            let brow = bp.add(kk * m);
+            let mut j = 0;
+            while j + LANES <= m {
+                let acc = _mm256_fmadd_ps(
+                    avv,
+                    _mm256_loadu_ps(brow.add(j)),
+                    _mm256_loadu_ps(row.as_ptr().add(j)),
+                );
+                _mm256_storeu_ps(row.as_mut_ptr().add(j), acc);
+                j += LANES;
+            }
+            for jj in j..m {
+                row[jj] += av * b[kk * m + jj];
+            }
+        }
+        return;
+    }
+    let mut k0 = 0;
+    while k0 < k {
+        let kend = (k0 + MATMUL_KB).min(k);
+        let k4 = (kend - k0) / 4 * 4;
+        let mut j0 = 0;
+        while j0 + LANES <= m {
+            let mut acc0 = _mm256_loadu_ps(row.as_ptr().add(j0));
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            let mut kk = k0;
+            while kk < k0 + k4 {
+                acc0 = _mm256_fmadd_ps(
+                    _mm256_set1_ps(arow[kk]),
+                    _mm256_loadu_ps(bp.add(kk * m + j0)),
+                    acc0,
+                );
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_set1_ps(arow[kk + 1]),
+                    _mm256_loadu_ps(bp.add((kk + 1) * m + j0)),
+                    acc1,
+                );
+                acc2 = _mm256_fmadd_ps(
+                    _mm256_set1_ps(arow[kk + 2]),
+                    _mm256_loadu_ps(bp.add((kk + 2) * m + j0)),
+                    acc2,
+                );
+                acc3 = _mm256_fmadd_ps(
+                    _mm256_set1_ps(arow[kk + 3]),
+                    _mm256_loadu_ps(bp.add((kk + 3) * m + j0)),
+                    acc3,
+                );
+                kk += 4;
+            }
+            for (kr, &av) in arow.iter().enumerate().take(kend).skip(k0 + k4) {
+                acc0 = _mm256_fmadd_ps(
+                    _mm256_set1_ps(av),
+                    _mm256_loadu_ps(bp.add(kr * m + j0)),
+                    acc0,
+                );
+            }
+            _mm256_storeu_ps(
+                row.as_mut_ptr().add(j0),
+                _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)),
+            );
+            j0 += LANES;
+        }
+        if j0 < m {
+            for (kk, &av) in arow[k0..kend].iter().enumerate() {
+                let brow = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
+                for (x, &bv) in row[j0..].iter_mut().zip(&brow[j0..]) {
+                    *x += av * bv;
+                }
+            }
+        }
+        k0 = kend;
+    }
+}
+
+/// Single-row GEMM `row = arow · B` (B row-major with `m` columns),
+/// dispatching to the same microkernel [`Tensor::matmul`] uses for each of
+/// its rows — SIMD unless `STGRAPH_NO_SIMD` is set. Exposed so fused
+/// kernels elsewhere in the workspace (seastar's aggregate-into-GEMM) can
+/// produce bitwise-identical results to an unfused matmul.
+pub fn gemm_row(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
+    if simd::enabled() {
+        matmul_row_simd(row, arow, b, m)
+    } else {
+        matmul_row(row, arow, b, m)
+    }
+}
+
+/// The scalar row microkernel behind [`gemm_row`], exposed for direct
+/// SIMD-vs-scalar comparison in tests and benches.
+pub fn gemm_row_scalar(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
+    matmul_row(row, arow, b, m)
+}
+
+/// The SIMD row microkernel behind [`gemm_row`], exposed for direct
+/// SIMD-vs-scalar comparison in tests and benches.
+pub fn gemm_row_simd(row: &mut [f32], arow: &[f32], b: &[f32], m: usize) {
+    matmul_row_simd(row, arow, b, m)
 }
 
 /// Reinterprets a mutable f32 slice as atomics for lock-free scatter adds.

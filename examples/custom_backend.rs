@@ -51,6 +51,7 @@ impl AggregationBackend for CountingBackend {
         inputs: &[&Tensor],
         node_consts: &[&Tensor],
         edge_consts: &[&Tensor],
+        mat_consts: &[&Tensor],
         save: &[Id],
     ) -> ExecOutput {
         self.stats.programs.fetch_add(1, Ordering::Relaxed);
@@ -59,8 +60,15 @@ impl AggregationBackend for CountingBackend {
             .fetch_add(prog.aggregations().len() as u64, Ordering::Relaxed);
         let floats: u64 = inputs.iter().map(|t| t.numel() as u64).sum();
         self.stats.input_floats.fetch_add(floats, Ordering::Relaxed);
-        self.inner
-            .execute(prog, graph, inputs, node_consts, edge_consts, save)
+        self.inner.execute(
+            prog,
+            graph,
+            inputs,
+            node_consts,
+            edge_consts,
+            mat_consts,
+            save,
+        )
     }
 }
 

@@ -67,7 +67,7 @@ fn kernel_reduce_and_broadcast_feat() {
         &ReferenceBackend,
     ] {
         let out = be
-            .execute(&prog, &snap, &[&x], &[], &[], &[])
+            .execute(&prog, &snap, &[&x], &[], &[], &[], &[])
             .outputs
             .remove(0);
         // node1 <- node0: rowsum 6 -> [6,6]; node2 <- node0+node1: 6+15=21.

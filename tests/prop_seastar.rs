@@ -194,7 +194,7 @@ fn run(
 ) -> (Tensor, Vec<Option<Tensor>>) {
     let plan = differentiate(prog);
     let refs: Vec<&Tensor> = inputs.iter().collect();
-    let fwd = be.execute(prog, graph, &refs, &[], &[], &plan.save_ids());
+    let fwd = be.execute(prog, graph, &refs, &[], &[], &[], &plan.save_ids());
     let n_node_value_saves = plan
         .node_saves
         .iter()
@@ -216,6 +216,7 @@ fn run(
         &[seed_grad],
         &b_node_consts,
         &b_edge_consts,
+        &[],
         &[],
     );
     let grads = plan
@@ -258,7 +259,7 @@ proptest! {
         let optimised = prog.eliminate_common_subexpressions();
         let refs: Vec<&Tensor> = inputs.iter().collect();
         let out_opt = SeastarBackend
-            .execute(&optimised, &graph, &refs, &[], &[], &[])
+            .execute(&optimised, &graph, &refs, &[], &[], &[], &[])
             .outputs
             .remove(0);
         prop_assert!(out_s.approx_eq(&out_opt, 1e-4), "CSE changed the program value");
@@ -277,7 +278,7 @@ proptest! {
                 let mut ins = inputs.clone();
                 ins[0] = t.clone();
                 let refs: Vec<&Tensor> = ins.iter().collect();
-                let out = SeastarBackend.execute(&prog, &graph, &refs, &[], &[], &[]).outputs.remove(0);
+                let out = SeastarBackend.execute(&prog, &graph, &refs, &[], &[], &[], &[]).outputs.remove(0);
                 out.mul(&seed_grad).sum().item()
             };
             let numeric = numeric_grad(&mut f, &inputs[0], 1e-2);
