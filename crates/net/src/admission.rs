@@ -1,0 +1,318 @@
+//! Per-tenant admission control: token-bucket rate quotas plus concurrency
+//! caps, sitting *in front of* the engine's own Overloaded/deadline
+//! shedding.
+//!
+//! The layering is deliberate: the engine's queue cap protects the engine
+//! (global, tenant-blind); admission protects tenants from *each other*.
+//! A tenant that blows through its quota gets a typed 429 with a
+//! `Retry-After`, while its neighbours' requests still reach the queue —
+//! the isolation property the load generator measures.
+//!
+//! [`TokenBucket`] is deterministic by construction: time is an injected
+//! `now_ns` (the controller feeds it a monotonic reading; tests feed it
+//! literals), and all arithmetic is integer nano-tokens, so refill
+//! boundaries are exact and unit-testable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One token = one admitted request, tracked in nano-tokens so a
+/// `rate_per_s` of 3 refills exactly 3 tokens every `1e9` ns with no drift.
+const NANOS_PER_TOKEN: u128 = 1_000_000_000;
+
+/// A deterministic token bucket. Starts full.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_s: u64,
+    capacity_nt: u128,
+    level_nt: u128,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_s` tokens/second, holding at most
+    /// `burst` tokens. A zero rate never refills; a zero burst never
+    /// admits.
+    pub fn new(rate_per_s: u64, burst: u64) -> TokenBucket {
+        let capacity_nt = burst as u128 * NANOS_PER_TOKEN;
+        TokenBucket {
+            rate_per_s,
+            capacity_nt,
+            level_nt: capacity_nt,
+            last_ns: 0,
+        }
+    }
+
+    /// Tries to take one token at `now_ns` (monotonic, nanoseconds).
+    /// `Err(retry_after)` when empty: `Some(d)` says when one token will
+    /// exist, `None` means never (zero quota). A `now_ns` earlier than the
+    /// last call counts as zero elapsed time.
+    pub fn try_acquire_at(&mut self, now_ns: u64) -> Result<(), Option<Duration>> {
+        let elapsed = now_ns.saturating_sub(self.last_ns) as u128;
+        self.last_ns = self.last_ns.max(now_ns);
+        // tokens/s gained over `elapsed` ns is exactly `rate * elapsed` nt.
+        self.level_nt = (self.level_nt + elapsed * self.rate_per_s as u128).min(self.capacity_nt);
+        if self.level_nt >= NANOS_PER_TOKEN {
+            self.level_nt -= NANOS_PER_TOKEN;
+            return Ok(());
+        }
+        if self.rate_per_s == 0 {
+            return Err(None);
+        }
+        let deficit = NANOS_PER_TOKEN - self.level_nt;
+        let wait_ns = deficit.div_ceil(self.rate_per_s as u128);
+        Err(Some(Duration::from_nanos(wait_ns as u64)))
+    }
+}
+
+/// A tenant's admission budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Sustained admitted requests per second (token-bucket refill rate).
+    pub rate_per_s: u64,
+    /// Burst allowance (token-bucket capacity).
+    pub burst: u64,
+    /// Requests in flight (admitted, not yet answered) at once.
+    pub max_inflight: u64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            rate_per_s: 500,
+            burst: 100,
+            max_inflight: 32,
+        }
+    }
+}
+
+/// Why a request was refused before reaching the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// Token bucket empty → HTTP 429 / wire `RATE_LIMITED`. `retry_after`
+    /// is `None` for zero-quota tenants (retrying never helps).
+    RateLimited {
+        /// When one token will exist, if ever.
+        retry_after: Option<Duration>,
+    },
+    /// Concurrency cap hit → HTTP 503 / wire `OVERLOADED`, the same shed
+    /// class as the engine's full queue.
+    TooManyInFlight {
+        /// The cap that was hit.
+        limit: u64,
+    },
+}
+
+struct TenantState {
+    bucket: TokenBucket,
+    quota: TenantQuota,
+    inflight: Arc<AtomicU64>,
+}
+
+/// Thread-safe per-tenant admission. Unknown tenants get the default
+/// quota on first sight; [`AdmissionController::set_quota`] overrides per
+/// tenant (resetting its bucket).
+pub struct AdmissionController {
+    start: Instant,
+    default_quota: TenantQuota,
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl AdmissionController {
+    /// A controller handing `default_quota` to tenants it has not seen.
+    pub fn new(default_quota: TenantQuota) -> AdmissionController {
+        AdmissionController {
+            start: Instant::now(),
+            default_quota,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides one tenant's quota (and refills its bucket to the new
+    /// burst).
+    pub fn set_quota(&self, tenant: &str, quota: TenantQuota) {
+        let mut map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(
+            tenant.to_string(),
+            TenantState {
+                bucket: TokenBucket::new(quota.rate_per_s, quota.burst),
+                quota,
+                inflight: Arc::new(AtomicU64::new(0)),
+            },
+        );
+    }
+
+    /// Admits or refuses one request at the current time. On success the
+    /// returned guard holds the tenant's in-flight slot until dropped —
+    /// keep it alive across the full engine round-trip so the concurrency
+    /// cap covers queue wait, not just submission.
+    pub fn admit(&self, tenant: &str) -> Result<InflightGuard, AdmissionError> {
+        self.admit_at(tenant, self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// [`AdmissionController::admit`] with an explicit clock, for
+    /// deterministic tests.
+    pub fn admit_at(&self, tenant: &str, now_ns: u64) -> Result<InflightGuard, AdmissionError> {
+        let mut map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let st = map
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                bucket: TokenBucket::new(self.default_quota.rate_per_s, self.default_quota.burst),
+                quota: self.default_quota,
+                inflight: Arc::new(AtomicU64::new(0)),
+            });
+        // Concurrency before rate: a capped-out request must not burn a
+        // token it never got to use.
+        if st.inflight.load(Ordering::Acquire) >= st.quota.max_inflight {
+            return Err(AdmissionError::TooManyInFlight {
+                limit: st.quota.max_inflight,
+            });
+        }
+        st.bucket
+            .try_acquire_at(now_ns)
+            .map_err(|retry_after| AdmissionError::RateLimited { retry_after })?;
+        st.inflight.fetch_add(1, Ordering::AcqRel);
+        Ok(InflightGuard {
+            inflight: Arc::clone(&st.inflight),
+        })
+    }
+
+    /// A tenant's current in-flight count (0 for unseen tenants).
+    pub fn inflight(&self, tenant: &str) -> u64 {
+        let map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(tenant)
+            .map_or(0, |st| st.inflight.load(Ordering::Acquire))
+    }
+}
+
+/// RAII in-flight slot; dropping it (response written, or request failed
+/// downstream) releases the tenant's concurrency budget.
+#[derive(Debug)]
+pub struct InflightGuard {
+    inflight: Arc<AtomicU64>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn bucket_refill_boundaries_are_exact() {
+        let mut b = TokenBucket::new(1, 1);
+        assert!(b.try_acquire_at(0).is_ok(), "starts full");
+        // One nanosecond short of a full token: refused, and the retry
+        // hint names the exact missing nanosecond.
+        assert_eq!(
+            b.try_acquire_at(SEC - 1),
+            Err(Some(Duration::from_nanos(1)))
+        );
+        assert!(b.try_acquire_at(SEC).is_ok(), "exactly refilled");
+        assert!(b.try_acquire_at(SEC).is_err(), "and spent again");
+    }
+
+    #[test]
+    fn bucket_burst_is_capacity_then_rate() {
+        let mut b = TokenBucket::new(10, 5);
+        for i in 0..5 {
+            assert!(b.try_acquire_at(0).is_ok(), "burst token {i}");
+        }
+        assert_eq!(
+            b.try_acquire_at(0),
+            Err(Some(Duration::from_nanos(SEC / 10)))
+        );
+        // At 10/s, 100ms buys exactly one more token — not the burst back.
+        assert!(b.try_acquire_at(SEC / 10).is_ok());
+        assert!(b.try_acquire_at(SEC / 10).is_err());
+    }
+
+    #[test]
+    fn bucket_never_overfills_past_burst() {
+        let mut b = TokenBucket::new(1000, 2);
+        assert!(b.try_acquire_at(0).is_ok());
+        // An hour idle still caps the bucket at burst=2.
+        let later = 3600 * SEC;
+        assert!(b.try_acquire_at(later).is_ok());
+        assert!(b.try_acquire_at(later).is_ok());
+        assert!(b.try_acquire_at(later).is_err());
+    }
+
+    #[test]
+    fn zero_quota_tenant_is_always_refused_with_no_retry() {
+        let mut b = TokenBucket::new(0, 0);
+        assert_eq!(b.try_acquire_at(0), Err(None));
+        assert_eq!(b.try_acquire_at(u64::MAX), Err(None));
+        // Zero rate with a burst: the burst is spendable once, then never
+        // again.
+        let mut b = TokenBucket::new(0, 1);
+        assert!(b.try_acquire_at(0).is_ok());
+        assert_eq!(b.try_acquire_at(u64::MAX), Err(None));
+    }
+
+    #[test]
+    fn clock_going_backwards_is_zero_elapsed() {
+        let mut b = TokenBucket::new(1, 1);
+        assert!(b.try_acquire_at(5 * SEC).is_ok());
+        // A regressed reading must not mint tokens or panic.
+        assert!(b.try_acquire_at(0).is_err());
+        assert!(b.try_acquire_at(6 * SEC).is_ok());
+    }
+
+    #[test]
+    fn controller_isolates_tenants_and_caps_inflight() {
+        let ctl = AdmissionController::new(TenantQuota {
+            rate_per_s: 1,
+            burst: 2,
+            max_inflight: 2,
+        });
+        let g1 = ctl.admit_at("a", 0).unwrap();
+        let _g2 = ctl.admit_at("a", 0).unwrap();
+        // Both dimensions are exhausted; the concurrency cap is checked
+        // first so no token is burned on a request that cannot run.
+        assert_eq!(
+            ctl.admit_at("a", 0).err(),
+            Some(AdmissionError::TooManyInFlight { limit: 2 })
+        );
+        assert_eq!(ctl.inflight("a"), 2);
+        // Tenant b is untouched by a's exhaustion.
+        let _gb = ctl.admit_at("b", 0).unwrap();
+        drop(g1);
+        assert_eq!(ctl.inflight("a"), 1);
+        // Slot free but bucket empty → rate-limited, with a retry hint.
+        match ctl.admit_at("a", 0) {
+            Err(AdmissionError::RateLimited {
+                retry_after: Some(_),
+            }) => {}
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        // One second later the bucket refilled one token.
+        let _g3 = ctl.admit_at("a", SEC).unwrap();
+    }
+
+    #[test]
+    fn set_quota_overrides_default() {
+        let ctl = AdmissionController::new(TenantQuota::default());
+        ctl.set_quota(
+            "starved",
+            TenantQuota {
+                rate_per_s: 0,
+                burst: 0,
+                max_inflight: 4,
+            },
+        );
+        assert_eq!(
+            ctl.admit_at("starved", 0).err(),
+            Some(AdmissionError::RateLimited { retry_after: None })
+        );
+        ctl.admit_at("normal", 0).unwrap();
+    }
+}

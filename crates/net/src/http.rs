@@ -1,0 +1,398 @@
+//! A hand-rolled HTTP/1.1 server side — just enough of RFC 9112 for the
+//! serve tier, with hard limits everywhere a peer controls an allocation.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! percent-encoded query strings, keep-alive (1.1 default) and
+//! `Connection: close`. Not supported (rejected, not mis-parsed): chunked
+//! transfer encoding, HTTP/1.0 keep-alive, multiline headers.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body.
+const MAX_BODY: usize = crate::wire::MAX_FRAME;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Request method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string (`/infer`).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers in order of appearance; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `key` (ASCII case-insensitive).
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one request. `Ok(None)` on clean EOF before any byte of the next
+/// request (the keep-alive peer hung up); anything torn or over-limit is an
+/// `InvalidData` error the caller answers with 400 or just drops.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<HttpRequest>> {
+    let Some(request_line) = read_line(r, true)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(bad("malformed request line"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, false)?.ok_or_else(|| bad("eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(bad("chunked transfer encoding unsupported"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let path = percent_decode(raw_path).ok_or_else(|| bad("bad path encoding"))?;
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.push((
+            percent_decode(k).ok_or_else(|| bad("bad query encoding"))?,
+            percent_decode(v).ok_or_else(|| bad("bad query encoding"))?,
+        ));
+    }
+
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Writes one response with `Content-Length` framing. `extra_headers` lets
+/// handlers attach e.g. `Retry-After`.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        status_reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reason phrase for the status codes this tier emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space. `None` on torn escapes or
+/// non-UTF-8 results.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Client side: writes one request with an optional body. Used by the
+/// load generator and the integration tests — kept here so client and
+/// server framing can never drift apart.
+pub fn write_request(
+    w: &mut impl Write,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: stgraph\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A parsed client-side response: `(status, headers, body)`.
+pub type ResponseParts = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Client side: reads one response, returning `(status, headers, body)`.
+/// Only `Content-Length` framing is supported (which is all
+/// [`write_response`] emits).
+pub fn read_response(r: &mut impl BufRead) -> io::Result<ResponseParts> {
+    let status_line = read_line(r, false)?.ok_or_else(|| bad("eof before status line"))?;
+    let mut parts = status_line.split(' ');
+    if parts.next().map(|v| v.starts_with("HTTP/1.")) != Some(true) {
+        return Err(bad("malformed status line"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status code"))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, false)?.ok_or_else(|| bad("eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok((status, headers, body))
+}
+
+/// Reads one CRLF (or bare-LF) terminated line, bounded by [`MAX_LINE`].
+/// `Ok(None)` only when `eof_ok` and zero bytes arrived.
+fn read_line(r: &mut impl BufRead, eof_ok: bool) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = r.read(&mut byte)?;
+        if n == 0 {
+            if line.is_empty() && eof_ok {
+                return Ok(None);
+            }
+            return Err(bad("eof mid-line"));
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| bad("non-utf8 header line"));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(bad("line too long"));
+        }
+    }
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> io::Result<Option<HttpRequest>> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(b"GET /infer?tenant=acme%20co&node=7 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/infer");
+        assert_eq!(req.query_param("tenant"), Some("acme co"));
+        assert_eq!(req.query_param("node"), Some("7"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_body_and_connection_close() {
+        let req = parse(
+            b"POST /ingest?tenant=a HTTP/1.1\r\nContent-Length: 8\r\nConnection: close\r\n\r\n+ 1 2\n- ",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"+ 1 2\n- ");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn keep_alive_reads_two_requests_then_clean_eof() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        assert_eq!(read_request(&mut r).unwrap().unwrap().path, "/healthz");
+        assert_eq!(read_request(&mut r).unwrap().unwrap().path, "/metrics");
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(parse(b"BROKEN\r\n\r\n").is_err());
+        assert!(parse(b"GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse(b"GET / HTTP/1.1\r\nContent-Length: zzz\r\n\r\n").is_err());
+        assert!(parse(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
+        assert!(parse(long.as_bytes()).is_err());
+        assert!(parse(b"GET /a%zz HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_has_length_framing_and_extra_headers() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "text/plain",
+            &[("retry-after", "1".to_string())],
+            b"slow down\n",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("content-length: 10\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("slow down\n"));
+    }
+
+    #[test]
+    fn client_and_server_framing_roundtrip() {
+        let mut raw = Vec::new();
+        write_request(&mut raw, "POST", "/ingest?tenant=a", b"+ 1 2\n").unwrap();
+        let req = parse(&raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/ingest");
+        assert_eq!(req.body, b"+ 1 2\n");
+
+        let mut raw = Vec::new();
+        write_response(
+            &mut raw,
+            200,
+            "application/octet-stream",
+            &[],
+            &[9, 8, 7],
+            false,
+        )
+        .unwrap();
+        let (status, headers, body) = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, vec![9, 8, 7]);
+        assert!(headers
+            .iter()
+            .any(|(k, v)| k == "content-type" && v == "application/octet-stream"));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Fb+c").unwrap(), "a/b c");
+        assert!(percent_decode("%2").is_none());
+        assert!(percent_decode("%gg").is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! `stgraph-net` — the network serve tier on top of `stgraph-serve`.
+//!
+//! The serve crate ends at a process boundary: an [`EngineHost`] thread
+//! answering an in-process [`RequestQueue`]. This crate is everything
+//! between that queue and a socket, dependency-free on `std::net`:
+//!
+//! * [`http`] — a hand-rolled HTTP/1.1 parser/writer (keep-alive,
+//!   `Content-Length` framing, hard input limits);
+//! * [`wire`] — a length-prefixed binary protocol, and
+//!   [`wire::encode_infer_payload`], the *single* inference-answer
+//!   serialiser both protocols share, so an `/infer` HTTP body and an
+//!   `INFER` frame payload are bitwise identical by construction;
+//! * [`registry`] — the multi-tenant model registry: per-tenant `.stgc`
+//!   checkpoints resident under a byte-budget LRU, hot-swapped atomically
+//!   by minting a fresh [`ModelKey`] slot per publish;
+//! * [`admission`] — per-tenant token-bucket rate quotas and concurrency
+//!   caps in front of the engine's own Overloaded/deadline shedding, with
+//!   typed 429/503 refusals;
+//! * [`server`] — thread-per-core acceptors on two listeners funnelling
+//!   into one dispatch path, `/metrics` Prometheus exposition, and the
+//!   `net.accept` / `net.read` fault sites.
+//!
+//! The `net` binary wires a dataset + checkpoints into a running server;
+//! the `loadgen` binary drives it closed-loop over real sockets with
+//! Zipfian-distributed tenants and reports per-tenant p50/p95/p99.
+//!
+//! [`EngineHost`]: stgraph_serve::EngineHost
+//! [`RequestQueue`]: stgraph_serve::RequestQueue
+//! [`ModelKey`]: stgraph_serve::ModelKey
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use admission::{AdmissionController, AdmissionError, TenantQuota, TokenBucket};
+pub use registry::{build_resident_cell, ModelMeta, ModelRegistry, RegistryError, ResidentModel};
+pub use server::{NetConfig, NetError, NetServer, ServeContext, ServerHandle};

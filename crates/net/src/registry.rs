@@ -1,0 +1,427 @@
+//! The multi-tenant model registry: which `.stgc` checkpoint answers for
+//! which tenant, which checkpoints are resident in memory, and how the
+//! engine materialises them.
+//!
+//! ## Slots and hot swap
+//!
+//! Every *publish* of a checkpoint gets a fresh, monotonically increasing
+//! slot id — the [`ModelKey`] queries carry into the engine. Re-publishing
+//! for a tenant binds the tenant to a *new* slot and never mutates the old
+//! one, so in-flight queries submitted against the previous slot still
+//! resolve against the previous weights: the atomic hot-swap is one
+//! `HashMap` insert under the registry lock (the generation-guard pattern
+//! the ingest layer uses for graph snapshots, applied to models).
+//!
+//! ## Residency and the byte budget
+//!
+//! Decoded checkpoint entries are cached per slot and LRU-evicted once
+//! their total size passes the byte budget. An evicted slot keeps its
+//! checkpoint *path*, so a later query for it (an old in-flight key, or a
+//! cold tenant waking up) transparently reloads from disk — eviction
+//! degrades latency, never correctness.
+//!
+//! ## The engine side
+//!
+//! [`ModelRegistry::resident`] is what the engine's model-provider hook
+//! calls (on the engine thread) when a query names a key it has no cell
+//! for; [`build_resident_cell`] then rebuilds the cell with the training
+//! binaries' exact RNG draw order and loads the weights by name.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use stgraph::tgnn::RecurrentCell;
+use stgraph_serve::checkpoint::load_checkpoint;
+use stgraph_serve::{CheckpointError, ModelKey};
+use stgraph_tensor::nn::ParamSet;
+use stgraph_tensor::{StateDict, StateEntry};
+
+/// Everything needed to rebuild a tenant's cell from its checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelMeta {
+    /// Architecture name, one of [`stgraph_serve::zoo::ARCHITECTURES`].
+    pub arch: String,
+    /// Input feature width the cell was trained with.
+    pub features: usize,
+    /// Hidden width the cell was trained with.
+    pub hidden: usize,
+    /// RNG seed used at construction; must match training so parameter
+    /// shapes and registration order line up with the checkpoint.
+    pub init_seed: u64,
+}
+
+/// A slot's decoded checkpoint, shared between the registry cache and the
+/// engine thread (entries are plain `Send + Sync` data; the `!Send` cell
+/// is built from them on the engine thread only).
+#[derive(Debug)]
+pub struct ResidentModel {
+    /// The slot this decode belongs to.
+    pub key: ModelKey,
+    /// How to rebuild the cell.
+    pub meta: ModelMeta,
+    /// Named parameter tensors from the `.stgc` file.
+    pub entries: Vec<StateEntry>,
+}
+
+/// Typed registry failures.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No model was ever published for this tenant.
+    UnknownTenant(String),
+    /// The key names no published slot (stale beyond the retained window,
+    /// or plain wrong).
+    UnknownSlot(ModelKey),
+    /// The slot's checkpoint failed to load or validate.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownTenant(t) => write!(f, "no model published for tenant {t:?}"),
+            RegistryError::UnknownSlot(k) => write!(f, "no published model slot {k}"),
+            RegistryError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<CheckpointError> for RegistryError {
+    fn from(e: CheckpointError) -> RegistryError {
+        RegistryError::Checkpoint(e)
+    }
+}
+
+struct SlotRecord {
+    meta: ModelMeta,
+    path: PathBuf,
+    bytes: usize,
+    resident: Option<Arc<ResidentModel>>,
+    last_used: u64,
+}
+
+struct Inner {
+    tenants: HashMap<String, ModelKey>,
+    slots: HashMap<ModelKey, SlotRecord>,
+    next_key: ModelKey,
+    resident_bytes: usize,
+    tick: u64,
+}
+
+/// Thread-safe tenant → slot → checkpoint registry with a byte-budget LRU
+/// residency cache. Cloned behind an `Arc` into both the network handlers
+/// (resolve) and the engine's provider hook (resident).
+pub struct ModelRegistry {
+    budget_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ModelRegistry {
+    /// A registry keeping at most `budget_bytes` of decoded checkpoint
+    /// entries resident (at least one slot always stays resident, so a
+    /// single over-budget model still serves).
+    pub fn new(budget_bytes: usize) -> ModelRegistry {
+        ModelRegistry {
+            budget_bytes,
+            inner: Mutex::new(Inner {
+                tenants: HashMap::new(),
+                slots: HashMap::new(),
+                // Key 0 is the engine's DEFAULT_MODEL; registry slots start
+                // above it.
+                next_key: 1,
+                resident_bytes: 0,
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Exposes the registry's residency numbers as pull gauges
+    /// (`net.registry.resident_bytes`, `net.registry.resident_slots`).
+    pub fn register_gauges(self: &Arc<Self>) {
+        let me = Arc::clone(self);
+        stgraph_telemetry::register_gauge("net.registry.resident_bytes", move || {
+            me.lock().resident_bytes as f64
+        });
+        let me = Arc::clone(self);
+        stgraph_telemetry::register_gauge("net.registry.resident_slots", move || {
+            me.lock()
+                .slots
+                .values()
+                .filter(|s| s.resident.is_some())
+                .count() as f64
+        });
+    }
+
+    /// Publishes `path` as `tenant`'s serving model: loads and validates
+    /// the checkpoint, assigns a fresh slot, makes it resident, and
+    /// atomically rebinds the tenant. Returns the new slot key.
+    pub fn publish(
+        &self,
+        tenant: &str,
+        meta: ModelMeta,
+        path: impl AsRef<Path>,
+    ) -> Result<ModelKey, RegistryError> {
+        let path = path.as_ref().to_path_buf();
+        // Load outside the lock: disk I/O must not stall the serve path.
+        let entries = load_checkpoint(&path)?;
+        let bytes = entries_bytes(&entries);
+
+        let mut inner = self.lock();
+        let key = inner.next_key;
+        inner.next_key += 1;
+        let resident = Arc::new(ResidentModel {
+            key,
+            meta: meta.clone(),
+            entries,
+        });
+        inner.slots.insert(
+            key,
+            SlotRecord {
+                meta,
+                path,
+                bytes,
+                resident: Some(resident),
+                last_used: 0,
+            },
+        );
+        inner.resident_bytes += bytes;
+        inner.touch(key);
+        if inner.tenants.insert(tenant.to_string(), key).is_some() {
+            stgraph_telemetry::counter("net.registry.swaps").inc();
+        }
+        stgraph_telemetry::counter("net.registry.publishes").inc();
+        inner.evict_over_budget(self.budget_bytes, key);
+        Ok(key)
+    }
+
+    /// The slot currently bound to `tenant` — the serve path's
+    /// tenant-name → [`ModelKey`] hop.
+    pub fn resolve(&self, tenant: &str) -> Result<ModelKey, RegistryError> {
+        let inner = self.lock();
+        inner
+            .tenants
+            .get(tenant)
+            .copied()
+            .ok_or_else(|| RegistryError::UnknownTenant(tenant.to_string()))
+    }
+
+    /// The slot's decoded checkpoint, reloading from disk if it was
+    /// LRU-evicted. This is the engine provider's entry point.
+    pub fn resident(&self, key: ModelKey) -> Result<Arc<ResidentModel>, RegistryError> {
+        {
+            let mut inner = self.lock();
+            let slot = inner
+                .slots
+                .get(&key)
+                .ok_or(RegistryError::UnknownSlot(key))?;
+            if let Some(m) = &slot.resident {
+                let m = Arc::clone(m);
+                inner.touch(key);
+                return Ok(m);
+            }
+        }
+        // Reload outside the lock; two racing reloads are benign (last one
+        // in repopulates the cache, both return valid entries).
+        let (path, meta) = {
+            let inner = self.lock();
+            let slot = inner
+                .slots
+                .get(&key)
+                .ok_or(RegistryError::UnknownSlot(key))?;
+            (slot.path.clone(), slot.meta.clone())
+        };
+        let entries = load_checkpoint(&path)?;
+        stgraph_telemetry::counter("net.registry.reloads").inc();
+        let bytes = entries_bytes(&entries);
+        let resident = Arc::new(ResidentModel { key, meta, entries });
+        let mut inner = self.lock();
+        if let Some(slot) = inner.slots.get_mut(&key) {
+            if slot.resident.is_none() {
+                slot.resident = Some(Arc::clone(&resident));
+                slot.bytes = bytes;
+                inner.resident_bytes += bytes;
+            }
+            inner.touch(key);
+            inner.evict_over_budget(self.budget_bytes, key);
+        }
+        Ok(resident)
+    }
+
+    /// Total bytes of decoded entries currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.lock().resident_bytes
+    }
+
+    /// Current tenant bindings, sorted by tenant name.
+    pub fn tenants(&self) -> Vec<(String, ModelKey)> {
+        let inner = self.lock();
+        let mut v: Vec<_> = inner.tenants.iter().map(|(t, k)| (t.clone(), *k)).collect();
+        v.sort();
+        v
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Inner {
+    fn touch(&mut self, key: ModelKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.slots.get_mut(&key) {
+            slot.last_used = tick;
+        }
+    }
+
+    /// Drops least-recently-used resident entries until the budget holds.
+    /// `keep` (the slot just loaded/touched) is never evicted, so the cache
+    /// always serves at least the model that triggered the pressure.
+    fn evict_over_budget(&mut self, budget: usize, keep: ModelKey) {
+        while self.resident_bytes > budget {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(k, s)| **k != keep && s.resident.is_some())
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(slot) = self.slots.get_mut(&victim) {
+                slot.resident = None;
+                self.resident_bytes = self.resident_bytes.saturating_sub(slot.bytes);
+                stgraph_telemetry::counter("net.registry.evictions").inc();
+            }
+        }
+    }
+}
+
+/// Rebuilds a slot's `!Send` cell from its plain-data decode. Runs on the
+/// engine thread (via the model-provider hook). `None` when the
+/// architecture is unknown or the checkpoint does not fit the declared
+/// shape — the engine then answers the query with `UnknownModel`.
+pub fn build_resident_cell(m: &ResidentModel) -> Option<Box<dyn RecurrentCell>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(m.meta.init_seed);
+    let mut params = ParamSet::new();
+    let cell = stgraph_serve::build_cell(
+        &m.meta.arch,
+        &mut params,
+        m.meta.features,
+        m.meta.hidden,
+        &mut rng,
+    )?;
+    params.try_load_state_dict(&m.entries).ok()?;
+    Some(cell)
+}
+
+fn entries_bytes(entries: &[StateEntry]) -> usize {
+    entries
+        .iter()
+        .map(|(name, _, data)| name.len() + 32 + data.len() * 4)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph_serve::save_checkpoint;
+
+    fn meta() -> ModelMeta {
+        ModelMeta {
+            arch: "tgcn".into(),
+            features: 2,
+            hidden: 3,
+            init_seed: 7,
+        }
+    }
+
+    /// Saves a real (arch-built) checkpoint so publish/build both succeed.
+    fn checkpoint_at(dir: &Path, name: &str, seed: u64) -> PathBuf {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let _cell = stgraph_serve::build_cell("tgcn", &mut params, 2, 3, &mut rng).unwrap();
+        let path = dir.join(name);
+        save_checkpoint(&path, &params.to_state_dict()).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stgraph-net-registry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn publish_resolve_resident_build_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let path = checkpoint_at(&dir, "a.stgc", 7);
+        let reg = ModelRegistry::new(64 << 20);
+        let key = reg.publish("acme", meta(), &path).unwrap();
+        assert_eq!(reg.resolve("acme").unwrap(), key);
+        let m = reg.resident(key).unwrap();
+        assert_eq!(m.key, key);
+        let cell = build_resident_cell(&m).expect("cell builds from entries");
+        assert_eq!(cell.hidden_size(), 3);
+        assert!(matches!(
+            reg.resolve("nobody"),
+            Err(RegistryError::UnknownTenant(_))
+        ));
+        assert!(matches!(
+            reg.resident(9999),
+            Err(RegistryError::UnknownSlot(9999))
+        ));
+    }
+
+    #[test]
+    fn hot_swap_assigns_new_slot_and_keeps_old_resolvable() {
+        let dir = tmpdir("swap");
+        let p1 = checkpoint_at(&dir, "v1.stgc", 7);
+        let p2 = checkpoint_at(&dir, "v2.stgc", 8);
+        let reg = ModelRegistry::new(64 << 20);
+        let k1 = reg.publish("acme", meta(), &p1).unwrap();
+        let mut m2 = meta();
+        m2.init_seed = 8;
+        let k2 = reg.publish("acme", m2, &p2).unwrap();
+        assert_ne!(k1, k2, "hot swap mints a fresh slot");
+        assert_eq!(reg.resolve("acme").unwrap(), k2);
+        // The old slot still serves in-flight queries.
+        assert!(reg.resident(k1).is_ok());
+    }
+
+    #[test]
+    fn lru_evicts_over_budget_and_reloads_from_disk() {
+        let dir = tmpdir("lru");
+        let p1 = checkpoint_at(&dir, "m1.stgc", 1);
+        let p2 = checkpoint_at(&dir, "m2.stgc", 2);
+        // Budget fits roughly one decoded checkpoint.
+        let one = entries_bytes(&load_checkpoint(&p1).unwrap());
+        let reg = ModelRegistry::new(one + one / 2);
+        let mut meta1 = meta();
+        meta1.init_seed = 1;
+        let mut meta2 = meta();
+        meta2.init_seed = 2;
+        let k1 = reg.publish("t1", meta1, &p1).unwrap();
+        let k2 = reg.publish("t2", meta2, &p2).unwrap();
+        // Publishing k2 pushed the total over budget; k1 (older) was
+        // evicted and only k2 stayed resident.
+        assert!(reg.resident_bytes() <= one + one / 2);
+        // The evicted slot transparently reloads — eviction is a latency
+        // event, not an error.
+        assert!(reg.resident(k1).is_ok());
+        assert!(reg.resident(k2).is_ok());
+    }
+
+    #[test]
+    fn single_over_budget_model_still_serves() {
+        let dir = tmpdir("overbudget");
+        let path = checkpoint_at(&dir, "big.stgc", 3);
+        let reg = ModelRegistry::new(1); // absurdly small budget
+        let mut m = meta();
+        m.init_seed = 3;
+        let key = reg.publish("solo", m, &path).unwrap();
+        assert!(reg.resident(key).is_ok(), "keep-slot is never evicted");
+    }
+}

@@ -1,0 +1,673 @@
+//! The network front end: thread-per-core acceptors on two listeners
+//! (HTTP/1.1 and the binary protocol), both funnelling into one dispatch
+//! path — admission, tenant→slot resolution, engine submit — so the two
+//! protocols cannot drift.
+//!
+//! ## Endpoints
+//!
+//! | HTTP                      | binary opcode | meaning                      |
+//! |---------------------------|---------------|------------------------------|
+//! | `GET /infer?tenant=&node=`| `INFER`       | node embedding               |
+//! | `POST /ingest?tenant=`    | `INGEST`      | advance the live graph       |
+//! | `GET /metrics`            | —             | Prometheus text exposition   |
+//! | `GET /healthz`            | `PING`        | liveness                     |
+//! | `POST /admin/shutdown`    | —             | begin draining               |
+//!
+//! The HTTP ingest body is one edge op per line: `+ src dst` inserts,
+//! `- src dst` deletes.
+//!
+//! ## Threading model
+//!
+//! `threads` acceptor threads per listener share the `TcpListener` and
+//! handle accepted connections *inline* (shared-nothing, no per-connection
+//! spawn), so at most `threads` connections per protocol are served
+//! concurrently — sized to cores, like the seastar execution model the
+//! paper builds on. Per-connection read timeouts bound how long a stalled
+//! peer can pin an acceptor.
+//!
+//! ## Fault sites
+//!
+//! `net.accept` (connection dropped at accept, before any byte) and
+//! `net.read` (connection killed mid-stream, between requests) extend the
+//! faultline catalogue into the network tier; the chaos suite uses them to
+//! prove a dying connection never wedges the engine.
+
+use crate::admission::{AdmissionController, AdmissionError};
+use crate::registry::{ModelRegistry, RegistryError};
+use crate::{http, wire};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use stgraph_dyngraph::source::UpdateBatch;
+use stgraph_serve::{RequestQueue, ServeError};
+use stgraph_telemetry::{counter, counter_labeled, histogram_labeled};
+
+/// Network-tier knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// HTTP listener address; port 0 binds an ephemeral port.
+    pub http_addr: String,
+    /// Binary-protocol listener address; port 0 binds an ephemeral port.
+    pub bin_addr: String,
+    /// Acceptor threads per listener (also the per-protocol connection
+    /// concurrency — connections are handled inline).
+    pub threads: usize,
+    /// Per-connection read timeout; bounds how long an idle or stalled
+    /// peer pins an acceptor thread.
+    pub read_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            http_addr: "127.0.0.1:0".into(),
+            bin_addr: "127.0.0.1:0".into(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 16)),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything a connection handler needs, shared across all acceptors.
+pub struct ServeContext {
+    /// The engine's submit boundary.
+    pub queue: Arc<RequestQueue>,
+    /// Tenant → model bindings.
+    pub registry: Arc<ModelRegistry>,
+    /// Per-tenant quotas.
+    pub admission: AdmissionController,
+    /// Node-id bound for request validation (the live graph's node count).
+    pub num_nodes: u32,
+}
+
+/// One typed failure vocabulary for both protocols. Each variant knows its
+/// HTTP status and its wire status byte, so the mapping lives in exactly
+/// one place.
+#[derive(Debug)]
+pub enum NetError {
+    /// Unparseable or out-of-range request.
+    BadRequest(String),
+    /// Tenant has no published model.
+    UnknownTenant(String),
+    /// Admission refused on rate; carries the bucket's retry hint.
+    RateLimited(Option<Duration>),
+    /// Shed: tenant concurrency cap, or the engine queue was full.
+    Overloaded(String),
+    /// The query expired in the engine queue.
+    Deadline(String),
+    /// Engine-side failure (panic recovery, checkpoint load, ...).
+    Internal(String),
+    /// The server is draining.
+    ShuttingDown,
+}
+
+impl NetError {
+    /// HTTP status code for this failure.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            NetError::BadRequest(_) => 400,
+            NetError::UnknownTenant(_) => 404,
+            NetError::RateLimited(_) => 429,
+            NetError::Overloaded(_) | NetError::ShuttingDown => 503,
+            NetError::Deadline(_) => 504,
+            NetError::Internal(_) => 500,
+        }
+    }
+
+    /// Binary-protocol status byte for this failure.
+    pub fn wire_status(&self) -> u8 {
+        match self {
+            NetError::BadRequest(_) => wire::status::BAD_REQUEST,
+            NetError::UnknownTenant(_) => wire::status::UNKNOWN_TENANT,
+            NetError::RateLimited(_) => wire::status::RATE_LIMITED,
+            NetError::Overloaded(_) => wire::status::OVERLOADED,
+            NetError::Deadline(_) => wire::status::DEADLINE,
+            NetError::Internal(_) => wire::status::INTERNAL,
+            NetError::ShuttingDown => wire::status::SHUTTING_DOWN,
+        }
+    }
+
+    /// Human-readable body/message text, identical across protocols.
+    pub fn message(&self) -> String {
+        match self {
+            NetError::BadRequest(m) => format!("bad request: {m}"),
+            NetError::UnknownTenant(t) => format!("no model published for tenant {t:?}"),
+            NetError::RateLimited(Some(d)) => {
+                format!("rate limited; retry in {}ms", d.as_millis().max(1))
+            }
+            NetError::RateLimited(None) => "rate limited; tenant has zero quota".into(),
+            NetError::Overloaded(m) => format!("overloaded: {m}"),
+            NetError::Deadline(m) => format!("deadline exceeded: {m}"),
+            NetError::Internal(m) => format!("internal error: {m}"),
+            NetError::ShuttingDown => "server is shutting down".into(),
+        }
+    }
+}
+
+impl From<AdmissionError> for NetError {
+    fn from(e: AdmissionError) -> NetError {
+        match e {
+            AdmissionError::RateLimited { retry_after } => NetError::RateLimited(retry_after),
+            AdmissionError::TooManyInFlight { limit } => {
+                NetError::Overloaded(format!("tenant concurrency cap {limit} reached"))
+            }
+        }
+    }
+}
+
+impl From<RegistryError> for NetError {
+    fn from(e: RegistryError) -> NetError {
+        match e {
+            RegistryError::UnknownTenant(t) => NetError::UnknownTenant(t),
+            RegistryError::UnknownSlot(k) => NetError::Internal(format!("stale model slot {k}")),
+            RegistryError::Checkpoint(e) => NetError::Internal(format!("checkpoint: {e}")),
+        }
+    }
+}
+
+impl From<ServeError> for NetError {
+    fn from(e: ServeError) -> NetError {
+        match e {
+            ServeError::Overloaded => NetError::Overloaded("engine queue full".into()),
+            ServeError::UnknownModel(k) => NetError::Internal(format!("engine lost model {k}")),
+            ServeError::DeadlineExceeded { waited } => {
+                NetError::Deadline(format!("queued {waited:?}"))
+            }
+            ServeError::Closed => NetError::ShuttingDown,
+            ServeError::Internal(m) => NetError::Internal(m),
+        }
+    }
+}
+
+/// Admission → resolve → submit → wait → encode: the one inference path
+/// both protocols call. Returns the shared payload bytes on success.
+pub fn dispatch_infer(
+    ctx: &ServeContext,
+    tenant: &str,
+    node: u32,
+    proto: &'static str,
+) -> Result<Vec<u8>, NetError> {
+    counter_labeled("net.requests", &[("tenant", tenant), ("proto", proto)]).inc();
+    if node >= ctx.num_nodes {
+        return Err(NetError::BadRequest(format!(
+            "node {node} out of range (graph has {} nodes)",
+            ctx.num_nodes
+        )));
+    }
+    let outcome = admit_resolve_wait(ctx, tenant, node);
+    match &outcome {
+        Ok(_) => counter_labeled("net.answered", &[("tenant", tenant)]).inc(),
+        Err(e) => {
+            let status = e.http_status().to_string();
+            counter_labeled("net.rejected", &[("tenant", tenant), ("status", &status)]).inc();
+        }
+    }
+    outcome
+}
+
+fn admit_resolve_wait(ctx: &ServeContext, tenant: &str, node: u32) -> Result<Vec<u8>, NetError> {
+    let start = Instant::now();
+    // The guard lives across the engine round-trip: the concurrency cap
+    // covers queue wait, not just the submit call.
+    let _guard = ctx.admission.admit(tenant)?;
+    let key = ctx.registry.resolve(tenant)?;
+    let resp = ctx.queue.submit_for(key, node)?.wait()?;
+    histogram_labeled("net.latency_ns", &[("tenant", tenant)])
+        .record(start.elapsed().as_nanos() as u64);
+    Ok(wire::encode_infer_payload(
+        resp.node,
+        resp.generation,
+        &resp.values,
+    ))
+}
+
+/// Admission → advance: the shared ingest path. Updates are the stream's
+/// ground truth, so past admission they block rather than shed.
+pub fn dispatch_ingest(
+    ctx: &ServeContext,
+    tenant: &str,
+    additions: Vec<(u32, u32)>,
+    deletions: Vec<(u32, u32)>,
+    proto: &'static str,
+) -> Result<(), NetError> {
+    counter_labeled("net.requests", &[("tenant", tenant), ("proto", proto)]).inc();
+    for &(s, d) in additions.iter().chain(&deletions) {
+        if s >= ctx.num_nodes || d >= ctx.num_nodes {
+            return Err(NetError::BadRequest(format!(
+                "edge ({s}, {d}) out of range (graph has {} nodes)",
+                ctx.num_nodes
+            )));
+        }
+    }
+    let _guard = ctx.admission.admit(tenant)?;
+    ctx.queue.advance(UpdateBatch {
+        additions,
+        deletions,
+    });
+    counter_labeled("net.ingested", &[("tenant", tenant)]).inc();
+    Ok(())
+}
+
+/// An ingest body split into `(additions, deletions)` edge lists.
+pub type IngestEdits = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Parses the HTTP ingest body: one `+ src dst` / `- src dst` line per op.
+pub fn parse_ingest_lines(body: &str) -> Result<IngestEdits, String> {
+    let mut additions = Vec::new();
+    let mut deletions = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().unwrap_or("");
+        let parse = |tok: Option<&str>| {
+            tok.and_then(|t| t.parse::<u32>().ok())
+                .ok_or_else(|| format!("line {}: expected '+|- src dst'", i + 1))
+        };
+        let edge = (parse(parts.next())?, parse(parts.next())?);
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing tokens", i + 1));
+        }
+        match op {
+            "+" => additions.push(edge),
+            "-" => deletions.push(edge),
+            other => return Err(format!("line {}: unknown op {other:?}", i + 1)),
+        }
+    }
+    Ok((additions, deletions))
+}
+
+struct Shutdown {
+    flag: AtomicBool,
+    mu: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Shutdown {
+    fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        *self.mu.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    fn triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A running pair of listeners plus their acceptor threads.
+pub struct ServerHandle {
+    /// Bound HTTP address (real port even when configured as 0).
+    pub http_addr: SocketAddr,
+    /// Bound binary-protocol address.
+    pub bin_addr: SocketAddr,
+    stop: Arc<Shutdown>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Blocks until shutdown is requested (`/admin/shutdown`, or
+    /// [`ServerHandle::shutdown`] from another thread) or `timeout`
+    /// passes. Returns true when shutdown was requested.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut done = self.stop.mu.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = Instant::now() + timeout;
+        while !*done {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (g, _) = self
+                .stop
+                .cv
+                .wait_timeout(done, left)
+                .unwrap_or_else(|e| e.into_inner());
+            done = g;
+        }
+        true
+    }
+
+    /// True once shutdown was requested.
+    pub fn shutting_down(&self) -> bool {
+        self.stop.triggered()
+    }
+
+    /// Requests shutdown, wakes every acceptor, and joins them. Idempotent
+    /// with an earlier `/admin/shutdown` trigger.
+    pub fn shutdown(mut self) {
+        self.stop.trigger();
+        // Blocked accept() calls only notice the flag on their next
+        // connection; hand each acceptor one.
+        for addr in [self.http_addr, self.bin_addr] {
+            for _ in 0..self.threads.len() {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The server constructor.
+pub struct NetServer;
+
+impl NetServer {
+    /// Binds both listeners and spawns `config.threads` acceptors per
+    /// protocol. Returns immediately; the engine behind `ctx.queue` must
+    /// already be running.
+    pub fn start(config: NetConfig, ctx: Arc<ServeContext>) -> std::io::Result<ServerHandle> {
+        let http = TcpListener::bind(&config.http_addr)?;
+        let bin = TcpListener::bind(&config.bin_addr)?;
+        let http_addr = http.local_addr()?;
+        let bin_addr = bin.local_addr()?;
+        let stop = Arc::new(Shutdown {
+            flag: AtomicBool::new(false),
+            mu: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        ctx.registry.register_gauges();
+
+        let mut threads = Vec::new();
+        let n = config.threads.max(1);
+        for (listener, is_http) in [(http, true), (bin, false)] {
+            let listener = Arc::new(listener);
+            for i in 0..n {
+                let listener = Arc::clone(&listener);
+                let ctx = Arc::clone(&ctx);
+                let stop = Arc::clone(&stop);
+                let timeout = config.read_timeout;
+                let name = format!("net-{}-{i}", if is_http { "http" } else { "bin" });
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(name)
+                        .spawn(move || accept_loop(&listener, is_http, &ctx, &stop, timeout))
+                        .expect("spawn acceptor"),
+                );
+            }
+        }
+        Ok(ServerHandle {
+            http_addr,
+            bin_addr,
+            stop,
+            threads,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    is_http: bool,
+    ctx: &ServeContext,
+    stop: &Shutdown,
+    timeout: Duration,
+) {
+    while !stop.triggered() {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if stop.triggered() {
+            return;
+        }
+        // Accept-time fault: the connection dies before its first byte —
+        // the client sees a reset, the server moves on.
+        if stgraph_faultline::fault_point!("net.accept").is_err() {
+            counter("net.faults.accept").inc();
+            continue;
+        }
+        counter("net.connections").inc();
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_nodelay(true);
+        if is_http {
+            handle_http_conn(stream, ctx, stop);
+        } else {
+            handle_bin_conn(stream, ctx, stop);
+        }
+    }
+}
+
+fn handle_http_conn(stream: TcpStream, ctx: &ServeContext, stop: &Shutdown) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        // Mid-stream fault: the connection dies between requests.
+        if stgraph_faultline::fault_point!("net.read").is_err() {
+            counter("net.faults.read").inc();
+            return;
+        }
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                counter("net.http.malformed").inc();
+                let _ = http::write_response(
+                    &mut writer,
+                    400,
+                    "text/plain",
+                    &[],
+                    format!("bad request: {e}\n").as_bytes(),
+                    true,
+                );
+                return;
+            }
+            Err(_) => return, // timeout or reset
+        };
+        let close = req.wants_close() || stop.triggered();
+        if !serve_http_request(&mut writer, &req, ctx, stop, close) {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Routes and answers one HTTP request. Returns false when the connection
+/// must close (write failure or shutdown endpoint).
+fn serve_http_request(
+    w: &mut TcpStream,
+    req: &http::HttpRequest,
+    ctx: &ServeContext,
+    stop: &Shutdown,
+    close: bool,
+) -> bool {
+    let respond =
+        |w: &mut TcpStream, status: u16, ct: &str, extra: &[(&str, String)], body: &[u8]| {
+            http::write_response(w, status, ct, extra, body, close).is_ok()
+        };
+    let fail = |w: &mut TcpStream, e: NetError| {
+        let mut extra = Vec::new();
+        if let NetError::RateLimited(Some(d)) = &e {
+            extra.push(("retry-after", d.as_secs().max(1).to_string()));
+        }
+        let body = format!("{}\n", e.message());
+        respond(w, e.http_status(), "text/plain", &extra, body.as_bytes())
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        (_, "/healthz") => respond(w, 200, "text/plain", &[], b"ok\n"),
+        (_, "/metrics") => {
+            let text = stgraph_telemetry::export::prometheus_text();
+            respond(w, 200, "text/plain; version=0.0.4", &[], text.as_bytes())
+        }
+        ("POST", "/admin/shutdown") => {
+            respond(w, 200, "text/plain", &[], b"shutting down\n");
+            stop.trigger();
+            false
+        }
+        (_, "/infer") if stop.triggered() => fail(w, NetError::ShuttingDown),
+        ("GET" | "POST", "/infer") => {
+            let parsed = (|| {
+                let tenant = req
+                    .query_param("tenant")
+                    .ok_or_else(|| NetError::BadRequest("missing tenant parameter".into()))?;
+                let node = req
+                    .query_param("node")
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .ok_or_else(|| NetError::BadRequest("missing or bad node parameter".into()))?;
+                Ok((tenant.to_string(), node))
+            })();
+            match parsed.and_then(|(tenant, node)| dispatch_infer(ctx, &tenant, node, "http")) {
+                Ok(payload) => respond(w, 200, "application/octet-stream", &[], &payload),
+                Err(e) => fail(w, e),
+            }
+        }
+        (_, "/ingest") if stop.triggered() => fail(w, NetError::ShuttingDown),
+        ("POST", "/ingest") => {
+            let outcome = (|| {
+                let tenant = req
+                    .query_param("tenant")
+                    .ok_or_else(|| NetError::BadRequest("missing tenant parameter".into()))?
+                    .to_string();
+                let body = std::str::from_utf8(&req.body)
+                    .map_err(|_| NetError::BadRequest("body is not utf-8".into()))?;
+                let (additions, deletions) =
+                    parse_ingest_lines(body).map_err(NetError::BadRequest)?;
+                dispatch_ingest(ctx, &tenant, additions, deletions, "http")
+            })();
+            match outcome {
+                Ok(()) => respond(w, 200, "text/plain", &[], b"accepted\n"),
+                Err(e) => fail(w, e),
+            }
+        }
+        ("GET" | "POST", _) => respond(w, 404, "text/plain", &[], b"no such endpoint\n"),
+        _ => respond(w, 405, "text/plain", &[], b"method not allowed\n"),
+    }
+}
+
+fn handle_bin_conn(stream: TcpStream, ctx: &ServeContext, stop: &Shutdown) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        if stgraph_faultline::fault_point!("net.read").is_err() {
+            counter("net.faults.read").inc();
+            return;
+        }
+        let body = match wire::read_frame(&mut reader) {
+            Ok(Some(b)) => b,
+            Ok(None) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                counter("net.bin.malformed").inc();
+                let resp = wire::Response::Err {
+                    code: wire::status::BAD_REQUEST,
+                    message: e.to_string(),
+                };
+                let _ = wire::write_frame(&mut writer, &wire::encode_response(&resp));
+                return;
+            }
+            Err(_) => return,
+        };
+        let resp = match wire::decode_request(&body) {
+            Err(msg) => {
+                counter("net.bin.malformed").inc();
+                let e = NetError::BadRequest(msg);
+                wire::Response::Err {
+                    code: e.wire_status(),
+                    message: e.message(),
+                }
+            }
+            Ok(_) if stop.triggered() => wire::Response::Err {
+                code: wire::status::SHUTTING_DOWN,
+                message: NetError::ShuttingDown.message(),
+            },
+            Ok(wire::Request::Ping) => wire::Response::Ok(Vec::new()),
+            Ok(wire::Request::Infer { tenant, node }) => {
+                match dispatch_infer(ctx, &tenant, node, "bin") {
+                    Ok(payload) => wire::Response::Ok(payload),
+                    Err(e) => wire::Response::Err {
+                        code: e.wire_status(),
+                        message: e.message(),
+                    },
+                }
+            }
+            Ok(wire::Request::Ingest {
+                tenant,
+                additions,
+                deletions,
+            }) => match dispatch_ingest(ctx, &tenant, additions, deletions, "bin") {
+                Ok(()) => wire::Response::Ok(Vec::new()),
+                Err(e) => wire::Response::Err {
+                    code: e.wire_status(),
+                    message: e.message(),
+                },
+            },
+        };
+        if wire::write_frame(&mut writer, &wire::encode_response(&resp)).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_line_parser() {
+        let (add, del) = parse_ingest_lines("+ 1 2\n- 3 4\n\n+ 5 6\n").unwrap();
+        assert_eq!(add, vec![(1, 2), (5, 6)]);
+        assert_eq!(del, vec![(3, 4)]);
+        assert!(parse_ingest_lines("* 1 2").is_err());
+        assert!(parse_ingest_lines("+ 1").is_err());
+        assert!(parse_ingest_lines("+ 1 2 3").is_err());
+        assert!(parse_ingest_lines("+ x y").is_err());
+    }
+
+    #[test]
+    fn error_mapping_is_total_and_consistent() {
+        let cases = [
+            (
+                NetError::BadRequest("x".into()),
+                400,
+                wire::status::BAD_REQUEST,
+            ),
+            (
+                NetError::UnknownTenant("t".into()),
+                404,
+                wire::status::UNKNOWN_TENANT,
+            ),
+            (NetError::RateLimited(None), 429, wire::status::RATE_LIMITED),
+            (
+                NetError::Overloaded("q".into()),
+                503,
+                wire::status::OVERLOADED,
+            ),
+            (NetError::Deadline("d".into()), 504, wire::status::DEADLINE),
+            (NetError::Internal("i".into()), 500, wire::status::INTERNAL),
+            (NetError::ShuttingDown, 503, wire::status::SHUTTING_DOWN),
+        ];
+        for (e, http_status, wire_status) in cases {
+            assert_eq!(e.http_status(), http_status, "{e:?}");
+            assert_eq!(e.wire_status(), wire_status, "{e:?}");
+            assert!(!e.message().is_empty());
+        }
+    }
+
+    #[test]
+    fn serve_error_mapping() {
+        assert_eq!(NetError::from(ServeError::Overloaded).http_status(), 503);
+        assert_eq!(
+            NetError::from(ServeError::DeadlineExceeded {
+                waited: Duration::from_millis(5)
+            })
+            .http_status(),
+            504
+        );
+        assert_eq!(NetError::from(ServeError::Closed).http_status(), 503);
+        assert_eq!(
+            NetError::from(ServeError::Internal("boom".into())).http_status(),
+            500
+        );
+    }
+}

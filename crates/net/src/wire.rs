@@ -1,0 +1,418 @@
+//! The length-prefixed binary protocol, and the one inference-payload
+//! encoding both protocols share.
+//!
+//! ## Framing
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! u32 LE body_len | body_len bytes
+//! ```
+//!
+//! Frames larger than [`MAX_FRAME`] are rejected before allocation, so a
+//! hostile length prefix cannot balloon memory.
+//!
+//! ## Request body
+//!
+//! ```text
+//! u8 opcode
+//!   INFER (1):  u16 LE tenant_len | tenant utf8 | u32 LE node
+//!   INGEST (2): u16 LE tenant_len | tenant utf8
+//!               | u32 LE n_add | n_add × (u32 LE src, u32 LE dst)
+//!               | u32 LE n_del | n_del × (u32 LE src, u32 LE dst)
+//!   PING (3):   (empty)
+//! ```
+//!
+//! ## Response body
+//!
+//! ```text
+//! u8 status
+//!   OK (0):     opcode-specific payload (INFER → infer payload, others empty)
+//!   errors:     u16 LE message_len | message utf8
+//! ```
+//!
+//! ## The shared inference payload
+//!
+//! [`encode_infer_payload`] is the *only* serialiser for inference answers
+//! in the whole tier: the HTTP handler returns exactly these bytes as an
+//! `application/octet-stream` body and the binary handler puts them after
+//! the OK status byte. Bitwise identity between the two protocols is
+//! therefore a property of the code shape, not a test-enforced convention
+//! (the `net_e2e` integration test pins it anyway).
+//!
+//! ```text
+//! u32 LE node | u64 LE generation | u32 LE width | width × f32 LE (raw bits)
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's body. Large enough for any realistic ingest
+/// batch, small enough that a corrupt length prefix fails fast.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Request opcodes (first body byte).
+pub mod opcode {
+    /// Node inference for a tenant's model.
+    pub const INFER: u8 = 1;
+    /// Stream advance: a batch of edge additions/deletions.
+    pub const INGEST: u8 = 2;
+    /// Liveness probe; the binary protocol's `/healthz`.
+    pub const PING: u8 = 3;
+}
+
+/// Response status codes (first body byte). Each maps 1:1 onto the HTTP
+/// status the other protocol would have returned — see
+/// [`http_status`](crate::server::NetError::http_status).
+pub mod status {
+    /// Success; payload follows.
+    pub const OK: u8 = 0;
+    /// Malformed request (HTTP 400).
+    pub const BAD_REQUEST: u8 = 1;
+    /// Tenant has no published model (HTTP 404).
+    pub const UNKNOWN_TENANT: u8 = 2;
+    /// Tenant exceeded its token-bucket rate quota (HTTP 429).
+    pub const RATE_LIMITED: u8 = 3;
+    /// Shed: tenant concurrency cap or engine queue full (HTTP 503).
+    pub const OVERLOADED: u8 = 4;
+    /// Query expired in the engine queue (HTTP 504).
+    pub const DEADLINE: u8 = 5;
+    /// Engine-side failure; the request is lost but the server lives
+    /// (HTTP 500).
+    pub const INTERNAL: u8 = 6;
+    /// The server is draining for shutdown (HTTP 503).
+    pub const SHUTTING_DOWN: u8 = 7;
+}
+
+/// Encodes one inference answer. The single source of truth for the bytes
+/// a client sees, whichever protocol it spoke.
+pub fn encode_infer_payload(node: u32, generation: u64, values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + values.len() * 4);
+    out.extend_from_slice(&node.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes [`encode_infer_payload`] bytes. Returns `None` on any length or
+/// width mismatch.
+pub fn decode_infer_payload(bytes: &[u8]) -> Option<(u32, u64, Vec<f32>)> {
+    let mut c = Cursor::new(bytes);
+    let node = c.u32()?;
+    let generation = c.u64()?;
+    let width = c.u32()? as usize;
+    let mut values = Vec::with_capacity(width.min(1 << 20));
+    for _ in 0..width {
+        values.push(f32::from_bits(c.u32()?));
+    }
+    if c.rest().is_empty() {
+        Some((node, generation, values))
+    } else {
+        None
+    }
+}
+
+/// Writes one frame (length prefix + body).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body. `Ok(None)` on clean EOF (the peer closed between
+/// frames); an EOF mid-frame or an oversized length prefix is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// A parsed binary-protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Inference for `node` against `tenant`'s current model.
+    Infer {
+        /// Tenant whose model answers.
+        tenant: String,
+        /// Node id to embed.
+        node: u32,
+    },
+    /// Advance the shared live graph by one update batch.
+    Ingest {
+        /// Tenant charged for the update (admission applies).
+        tenant: String,
+        /// Edges to insert.
+        additions: Vec<(u32, u32)>,
+        /// Edges to delete.
+        deletions: Vec<(u32, u32)>,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Encodes a request body (no frame prefix — pair with [`write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Infer { tenant, node } => {
+            out.push(opcode::INFER);
+            push_str(&mut out, tenant);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        Request::Ingest {
+            tenant,
+            additions,
+            deletions,
+        } => {
+            out.push(opcode::INGEST);
+            push_str(&mut out, tenant);
+            push_edges(&mut out, additions);
+            push_edges(&mut out, deletions);
+        }
+        Request::Ping => out.push(opcode::PING),
+    }
+    out
+}
+
+/// Decodes a request body. Errors name the first malformed field.
+pub fn decode_request(body: &[u8]) -> Result<Request, String> {
+    let mut c = Cursor::new(body);
+    let op = c.u8().ok_or("empty request body")?;
+    let req = match op {
+        opcode::INFER => Request::Infer {
+            tenant: c.str().ok_or("bad tenant field")?,
+            node: c.u32().ok_or("missing node id")?,
+        },
+        opcode::INGEST => Request::Ingest {
+            tenant: c.str().ok_or("bad tenant field")?,
+            additions: c.edges().ok_or("bad additions list")?,
+            deletions: c.edges().ok_or("bad deletions list")?,
+        },
+        opcode::PING => Request::Ping,
+        other => return Err(format!("unknown opcode {other}")),
+    };
+    if c.rest().is_empty() {
+        Ok(req)
+    } else {
+        Err(format!("{} trailing bytes after request", c.rest().len()))
+    }
+}
+
+/// A binary-protocol response: OK with an opcode-specific payload, or a
+/// typed error with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success. For `INFER` the payload is [`encode_infer_payload`] bytes;
+    /// for `INGEST`/`PING` it is empty.
+    Ok(Vec<u8>),
+    /// Typed failure; `code` is one of the [`status`] constants.
+    Err {
+        /// One of the non-OK [`status`] constants.
+        code: u8,
+        /// Human-readable detail, mirrored from the HTTP body.
+        message: String,
+    },
+}
+
+/// Encodes a response body (no frame prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Ok(payload) => {
+            out.push(status::OK);
+            out.extend_from_slice(payload);
+        }
+        Response::Err { code, message } => {
+            out.push(*code);
+            push_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a response body.
+pub fn decode_response(body: &[u8]) -> Result<Response, String> {
+    let mut c = Cursor::new(body);
+    let code = c.u8().ok_or("empty response body")?;
+    if code == status::OK {
+        return Ok(Response::Ok(c.rest().to_vec()));
+    }
+    let message = c.str().ok_or("bad error message field")?;
+    Ok(Response::Err { code, message })
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string field too long");
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn push_edges(out: &mut Vec<u8>, edges: &[(u32, u32)]) {
+    out.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+    for (s, d) in edges {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = u16::from_le_bytes(self.take(2)?.try_into().ok()?) as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    fn edges(&mut self) -> Option<Vec<(u32, u32)>> {
+        let n = self.u32()? as usize;
+        // Each edge is 8 bytes; reject counts the remaining buffer cannot hold.
+        if n > (self.buf.len() - self.pos) / 8 {
+            return None;
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push((self.u32()?, self.u32()?));
+        }
+        Some(v)
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_payload_roundtrip_is_exact() {
+        let values = vec![1.0f32, -0.5, f32::MIN_POSITIVE, 0.0, -0.0];
+        let bytes = encode_infer_payload(7, 42, &values);
+        let (node, generation, got) = decode_infer_payload(&bytes).unwrap();
+        assert_eq!(node, 7);
+        assert_eq!(generation, 42);
+        assert_eq!(got.len(), values.len());
+        for (a, b) in got.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bitwise roundtrip");
+        }
+        assert!(decode_infer_payload(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Ping,
+            Request::Infer {
+                tenant: "acme".into(),
+                node: 12,
+            },
+            Request::Ingest {
+                tenant: "züri".into(),
+                additions: vec![(0, 1), (2, 3)],
+                deletions: vec![(4, 5)],
+            },
+        ] {
+            let body = encode_request(&req);
+            assert_eq!(decode_request(&body).unwrap(), req);
+        }
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99]).is_err());
+        let mut trailing = encode_request(&Request::Ping);
+        trailing.push(0);
+        assert!(decode_request(&trailing).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Ok(vec![1, 2, 3]),
+            Response::Err {
+                code: status::RATE_LIMITED,
+                message: "quota".into(),
+            },
+        ] {
+            let body = encode_response(&resp);
+            assert_eq!(decode_response(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        let torn = [5u8, 0, 0, 0, b'x'];
+        assert!(read_frame(&mut &torn[..]).is_err(), "eof mid-frame");
+    }
+
+    #[test]
+    fn ingest_edge_count_is_bounds_checked() {
+        // Claims u32::MAX additions with no bytes behind the claim.
+        let mut body = vec![opcode::INGEST, 1, 0, b'a'];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&body).is_err());
+    }
+}

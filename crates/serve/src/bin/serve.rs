@@ -16,8 +16,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
-use stgraph::tgnn::{GConvGru, GConvLstm, RecurrentCell, Tgcn};
-use stgraph::tgnn_ext::Dcrnn;
+use stgraph::tgnn::RecurrentCell;
 use stgraph_datasets::{info, load_dynamic, GraphKind};
 use stgraph_dyngraph::DtdgSource;
 use stgraph_serve::engine::{InferenceEngine, RequestQueue, ServeConfig, ServeError, Ticket};
@@ -60,7 +59,9 @@ Options:
   --trace <path>          enable tracing and write a Chrome trace_event JSON
                           timeline there (chrome://tracing / Perfetto)
   --metrics <path>        write a Prometheus text-exposition snapshot of all
-                          counters/gauges/histograms at exit
+                          counters/gauges/histograms at exit (deprecated:
+                          the canonical path is the stgraph-net tier's live
+                          /metrics endpoint)
   --help                  this text
 
 Fault injection: set STGRAPH_FAULTS (e.g. 'ingest.apply:every=7,seed=42')
@@ -117,16 +118,10 @@ fn make_cell(
     hidden: usize,
     rng: &mut ChaCha8Rng,
 ) -> Box<dyn RecurrentCell> {
-    match model {
-        "tgcn" => Box::new(Tgcn::new(params, "cell", features, hidden, rng)),
-        "gconvgru" => Box::new(GConvGru::new(params, "cell", features, hidden, 2, rng)),
-        "gconvlstm" => Box::new(GConvLstm::new(params, "cell", features, hidden, 2, rng)),
-        "dcrnn" => Box::new(Dcrnn::new(params, "cell", features, hidden, 2, rng)),
-        other => {
-            eprintln!("unknown model '{other}' (try --help)");
-            std::process::exit(2);
-        }
-    }
+    stgraph_serve::build_cell(model, params, features, hidden, rng).unwrap_or_else(|| {
+        eprintln!("unknown model '{model}' (try --help)");
+        std::process::exit(2);
+    })
 }
 
 /// Builds `(cell, features)` with the training binary's exact RNG draw
@@ -377,6 +372,11 @@ fn main() {
         }
     }
     if let Some(path) = &metrics_path {
+        println!(
+            "note: --metrics writes a one-shot snapshot at exit and is deprecated; \
+             the canonical path is the net tier's live /metrics endpoint \
+             (cargo run -p stgraph-net --bin net, then curl http://<addr>/metrics)"
+        );
         match std::fs::write(path, stgraph_telemetry::export::prometheus_text()) {
             Ok(()) => println!("wrote metrics exposition to {path}"),
             Err(e) => {

@@ -15,6 +15,19 @@
 //! `h_g = cell(x, A_g, h_{g-1})` — the property the `serve --verify` flag
 //! checks end to end.
 //!
+//! ## Multiple resident models
+//!
+//! The engine serves any number of models over the *same* live graph:
+//! queries carry a [`ModelKey`] ([`RequestQueue::submit_for`]) and each
+//! resident model keeps its own hidden chain and per-generation embedding
+//! memo. Unknown keys are resolved through an optional *model provider*
+//! hook ([`InferenceEngine::set_model_provider`]) — the registry hook the
+//! network tier uses to materialise checkpoints on the engine thread — and
+//! the resident set is LRU-capped ([`InferenceEngine::set_max_resident_models`]).
+//! Every resident model's recurrent step is pinned per generation, so each
+//! model's hidden chain is bit-identical to a direct replay started at the
+//! generation the model was installed.
+//!
 //! ## Degradation, not death
 //!
 //! Overload and failure produce typed [`ServeError`]s, never hangs:
@@ -34,7 +47,7 @@
 use crate::ingest::LiveGraph;
 use crate::stats::{LatencyRecorder, ServeReport};
 use rayon::prelude::*;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -51,6 +64,17 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Identifies one resident model inside the engine. The network tier's
+/// registry assigns keys (one per published checkpoint version, so a
+/// hot-swap is simply a new key); in-process callers that serve a single
+/// model can ignore keys entirely and use [`RequestQueue::submit`], which
+/// targets [`DEFAULT_MODEL`].
+pub type ModelKey = u64;
+
+/// The model key [`RequestQueue::submit`] targets: the cell the engine was
+/// constructed with.
+pub const DEFAULT_MODEL: ModelKey = 0;
+
 /// Why a query was not answered. Every failure mode a producer can see is
 /// typed here — the engine never panics a caller and never leaves a ticket
 /// hanging.
@@ -58,6 +82,9 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub enum ServeError {
     /// The request queue was full; the query was shed at submit time.
     Overloaded,
+    /// The query named a [`ModelKey`] that is neither resident nor
+    /// resolvable through the model provider hook.
+    UnknownModel(ModelKey),
     /// The query waited longer than [`ServeConfig::deadline`] before its
     /// batch ran; answering it would serve data staler than the caller
     /// accepts.
@@ -76,6 +103,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Overloaded => write!(f, "queue full: query shed"),
+            ServeError::UnknownModel(key) => write!(f, "unknown model key {key}"),
             ServeError::DeadlineExceeded { waited } => {
                 write!(f, "deadline exceeded after {waited:?}")
             }
@@ -202,7 +230,12 @@ impl Ticket {
     }
 }
 
-type PendingQuery = (u32, Arc<Slot>, Instant);
+pub(crate) struct PendingQuery {
+    node: u32,
+    model: ModelKey,
+    slot: Arc<Slot>,
+    submitted: Instant,
+}
 
 enum WorkItem {
     Query(PendingQuery),
@@ -264,12 +297,19 @@ impl RequestQueue {
         self.not_empty.notify_one();
     }
 
-    /// Enqueues a node query. Load-shedding, not blocking: a full queue
-    /// returns [`ServeError::Overloaded`] immediately (and counts the shed
-    /// in `serve.requests_shed`), a closed queue returns
-    /// [`ServeError::Closed`]. Latency is measured from this call, so
-    /// queueing delay counts.
+    /// Enqueues a node query against the [`DEFAULT_MODEL`]. Load-shedding,
+    /// not blocking: a full queue returns [`ServeError::Overloaded`]
+    /// immediately (and counts the shed in `serve.requests_shed`), a closed
+    /// queue returns [`ServeError::Closed`]. Latency is measured from this
+    /// call, so queueing delay counts.
     pub fn submit(&self, node: u32) -> Result<Ticket, ServeError> {
+        self.submit_for(DEFAULT_MODEL, node)
+    }
+
+    /// Enqueues a node query against a specific resident (or
+    /// provider-resolvable) model. Same shedding semantics as
+    /// [`RequestQueue::submit`].
+    pub fn submit_for(&self, model: ModelKey, node: u32) -> Result<Ticket, ServeError> {
         let submitted = Instant::now();
         let slot = Arc::new(Slot::default());
         {
@@ -283,8 +323,12 @@ impl RequestQueue {
                 stgraph_telemetry::counter("serve.requests_shed").inc();
                 return Err(ServeError::Overloaded);
             }
-            st.items
-                .push_back(WorkItem::Query((node, Arc::clone(&slot), submitted)));
+            st.items.push_back(WorkItem::Query(PendingQuery {
+                node,
+                model,
+                slot: Arc::clone(&slot),
+                submitted,
+            }));
         }
         self.not_empty.notify_one();
         Ok(Ticket { slot })
@@ -373,11 +417,34 @@ impl RequestQueue {
     }
 }
 
-/// The single-threaded owner of model + live graph that answers batched
-/// queries. Construct it, then call [`InferenceEngine::run`] on the thread
-/// that owns it while producers feed the [`RequestQueue`].
-pub struct InferenceEngine {
+/// One resident model: its cell, its hidden chain and its per-generation
+/// embedding memo. Each resident model steps once per generation, so its
+/// chain stays bit-identical to a direct replay from its install point.
+struct ModelSlot {
     cell: Box<dyn RecurrentCell>,
+    /// Carried hidden state `h_{g}` after the generation-`g` step.
+    hidden: Option<Tensor>,
+    /// Memoised `(generation, embeddings)` of the last forward.
+    memo: Option<(u64, Tensor)>,
+    /// Monotone tick of the last query touching this model (LRU order).
+    last_used: u64,
+}
+
+/// Resolves a [`ModelKey`] into a freshly-built cell on the engine thread.
+/// This is the registry hook: cells are `!Send`, so the network tier hands
+/// the engine a closure over `Send` checkpoint data instead of a cell.
+pub type ModelProvider = Box<dyn FnMut(ModelKey) -> Option<Box<dyn RecurrentCell>>>;
+
+/// The single-threaded owner of the resident models + live graph that
+/// answers batched queries. Construct it, then call
+/// [`InferenceEngine::run`] on the thread that owns it while producers
+/// feed the [`RequestQueue`].
+pub struct InferenceEngine {
+    models: HashMap<ModelKey, ModelSlot>,
+    provider: Option<ModelProvider>,
+    /// Resident-model cap: loading past it LRU-evicts (never the default).
+    max_models: usize,
+    tick: u64,
     features: Tensor,
     backend: String,
     live: LiveGraph,
@@ -385,10 +452,6 @@ pub struct InferenceEngine {
     /// [`stgraph_tensor::quant::QuantGuard`], routing dense matmuls
     /// through the i8 per-row-absmax kernel.
     quantize: bool,
-    /// Carried hidden state `h_{g}` after the generation-`g` step.
-    hidden: Option<Tensor>,
-    /// Memoised `(generation, embeddings)` of the last forward.
-    embeddings: Option<(u64, Tensor)>,
     latencies: LatencyRecorder,
     queries: u64,
     batches: u64,
@@ -399,8 +462,8 @@ pub struct InferenceEngine {
 }
 
 impl InferenceEngine {
-    /// A new engine serving `cell` over `live` with node features
-    /// `features` (`[num_nodes, in_features]`).
+    /// A new engine serving `cell` (installed as [`DEFAULT_MODEL`]) over
+    /// `live` with node features `features` (`[num_nodes, in_features]`).
     pub fn new(
         cell: Box<dyn RecurrentCell>,
         features: Tensor,
@@ -412,14 +475,25 @@ impl InferenceEngine {
             live.num_nodes(),
             "feature rows must match the live graph's node count"
         );
+        let mut models = HashMap::new();
+        models.insert(
+            DEFAULT_MODEL,
+            ModelSlot {
+                cell,
+                hidden: None,
+                memo: None,
+                last_used: 0,
+            },
+        );
         InferenceEngine {
-            cell,
+            models,
+            provider: None,
+            max_models: 8,
+            tick: 0,
             features,
             backend: backend.to_string(),
             live,
             quantize: false,
-            hidden: None,
-            embeddings: None,
             latencies: LatencyRecorder::new(),
             queries: 0,
             batches: 0,
@@ -433,6 +507,64 @@ impl InferenceEngine {
     /// The live graph (read access for callers/tests).
     pub fn live(&self) -> &LiveGraph {
         &self.live
+    }
+
+    /// Installs (or hot-swaps) a resident model under `key`. The new
+    /// model's hidden chain starts at the *current* generation; a replaced
+    /// model's chain and memo are dropped atomically with the swap — no
+    /// batch ever mixes old and new weights, because the swap happens on
+    /// the engine thread between batches.
+    pub fn install_model(&mut self, key: ModelKey, cell: Box<dyn RecurrentCell>) {
+        self.evict_to_fit(key);
+        self.tick += 1;
+        self.models.insert(
+            key,
+            ModelSlot {
+                cell,
+                hidden: None,
+                memo: None,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Sets the hook consulted when a query names a non-resident
+    /// [`ModelKey`]: the provider builds the cell on the engine thread
+    /// (typically from registry-held checkpoint entries). Returning `None`
+    /// fails the query with [`ServeError::UnknownModel`].
+    pub fn set_model_provider(&mut self, provider: ModelProvider) {
+        self.provider = Some(provider);
+    }
+
+    /// Caps the resident-model set (minimum 1). Loading a model past the
+    /// cap evicts the least-recently-queried resident model — never the
+    /// [`DEFAULT_MODEL`] and never the key being loaded.
+    pub fn set_max_resident_models(&mut self, n: usize) {
+        self.max_models = n.max(1);
+    }
+
+    /// Number of models currently resident.
+    pub fn resident_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// LRU-evicts until there is room for `incoming` under the cap.
+    fn evict_to_fit(&mut self, incoming: ModelKey) {
+        while self.models.len() >= self.max_models && !self.models.contains_key(&incoming) {
+            let victim = self
+                .models
+                .iter()
+                .filter(|(k, _)| **k != DEFAULT_MODEL && **k != incoming)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.models.remove(&k);
+                    stgraph_telemetry::counter("serve.model_evictions").inc();
+                }
+                None => break, // only the default left: cap cannot shrink further
+            }
+        }
     }
 
     /// Routes the batched forwards through the i8 quantized matmul path.
@@ -449,13 +581,31 @@ impl InferenceEngine {
         self.quantize
     }
 
-    /// Runs one recurrent step for the current generation unless its
-    /// embeddings are already memoised. Returns `(generation, embeddings)`.
-    fn ensure_forward(&mut self) -> (u64, Tensor) {
+    /// Runs model `key`'s recurrent step for the current generation unless
+    /// its embeddings are already memoised, resolving non-resident keys
+    /// through the provider hook first. Returns `(generation, embeddings)`.
+    fn ensure_forward(&mut self, key: ModelKey) -> Result<(u64, Tensor), ServeError> {
+        if !self.models.contains_key(&key) {
+            let cell = match self.provider.as_mut().and_then(|p| p(key)) {
+                Some(c) => c,
+                None => {
+                    stgraph_telemetry::counter("serve.unknown_model").inc();
+                    return Err(ServeError::UnknownModel(key));
+                }
+            };
+            stgraph_telemetry::counter("serve.model_loads").inc();
+            self.install_model(key, cell);
+        }
+        self.tick += 1;
+        let tick = self.tick;
         let generation = self.live.generation();
-        if let Some((g, emb)) = &self.embeddings {
-            if *g == generation {
-                return (*g, emb.clone());
+        {
+            let slot = self.models.get_mut(&key).expect("resident");
+            slot.last_used = tick;
+            if let Some((g, emb)) = &slot.memo {
+                if *g == generation {
+                    return Ok((*g, emb.clone()));
+                }
             }
         }
         let _sp = stgraph_telemetry::span_cat("serve.forward", "serve");
@@ -468,22 +618,25 @@ impl InferenceEngine {
         let exec = TemporalExecutor::new(create_backend(&self.backend), GraphSource::Static(snap));
         let tape = Tape::new();
         let x = tape.constant(self.features.clone());
-        let h_prev = self.hidden.clone().map(|t| tape.constant(t));
-        let h = self.cell.step(&tape, &exec, 0, &x, h_prev.as_ref());
+        let slot = self.models.get_mut(&key).expect("resident");
+        let h_prev = slot.hidden.clone().map(|t| tape.constant(t));
+        let h = slot.cell.step(&tape, &exec, 0, &x, h_prev.as_ref());
         let emb = h.value().clone();
         // Inference only: the executor (and its stacks) drop here; no
         // backward pass ever runs, so nothing accumulates across steps.
-        self.hidden = Some(emb.clone());
-        self.embeddings = Some((g, emb.clone()));
+        slot.hidden = Some(emb.clone());
+        slot.memo = Some((g, emb.clone()));
         self.forwards += 1;
-        (g, emb)
+        Ok((g, emb))
     }
 
-    /// Answers one coalesced micro-batch: expires overdue queries, runs a
-    /// single gather over the generation's embeddings for the rest, and
-    /// fills response slots in parallel. A panic anywhere inside is caught
-    /// and converted into [`ServeError::Internal`] on every still-pending
-    /// slot — the engine outlives its worst batch.
+    /// Answers one coalesced micro-batch: expires overdue queries, groups
+    /// the rest by model, runs a single gather over each model's embeddings
+    /// for the generation, and fills response slots in parallel. A panic
+    /// anywhere inside is caught and converted into [`ServeError::Internal`]
+    /// on every still-pending slot of that model's group — the engine
+    /// outlives its worst batch, and one model's panic never fails another
+    /// model's queries.
     fn answer(&mut self, batch: Vec<PendingQuery>, deadline: Option<Duration>) {
         let _sp = stgraph_telemetry::span_cat("serve.answer", "serve");
         // Expire queries that have already waited past the deadline; the
@@ -493,7 +646,7 @@ impl InferenceEngine {
                 let now = Instant::now();
                 batch
                     .into_iter()
-                    .partition(|(_, _, submitted)| now.saturating_duration_since(*submitted) <= d)
+                    .partition(|q| now.saturating_duration_since(q.submitted) <= d)
             }
             None => (batch, Vec::new()),
         };
@@ -501,63 +654,80 @@ impl InferenceEngine {
             self.expired += overdue.len() as u64;
             stgraph_telemetry::counter("serve.deadline_expired").add(overdue.len() as u64);
             let now = Instant::now();
-            for (_, slot, submitted) in &overdue {
-                slot.fill(Err(ServeError::DeadlineExceeded {
-                    waited: now.saturating_duration_since(*submitted),
+            for q in &overdue {
+                q.slot.fill(Err(ServeError::DeadlineExceeded {
+                    waited: now.saturating_duration_since(q.submitted),
                 }));
             }
         }
         if live.is_empty() {
             return;
         }
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.answer_inner(&live)));
-        if let Err(panic) = outcome {
-            let what = panic_message(&panic);
-            self.panics += 1;
-            stgraph_telemetry::counter("serve.forward_panics").inc();
-            // Blanket-fail whatever the panic left unanswered; first-write-
-            // wins on the slot keeps already-delivered answers intact.
-            for (_, slot, _) in &live {
-                slot.fill(Err(ServeError::Internal(what.clone())));
+        // Group by model key (deterministic order); within a group the
+        // arrival order is preserved.
+        let mut groups: BTreeMap<ModelKey, Vec<PendingQuery>> = BTreeMap::new();
+        for q in live {
+            groups.entry(q.model).or_default().push(q);
+        }
+        for (model, group) in groups {
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.answer_inner(model, &group)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    // Typed resolution failure (unknown model): every query
+                    // in the group gets the same typed error.
+                    for q in &group {
+                        q.slot.fill(Err(e.clone()));
+                    }
+                }
+                Err(panic) => {
+                    let what = panic_message(&panic);
+                    self.panics += 1;
+                    stgraph_telemetry::counter("serve.forward_panics").inc();
+                    // Blanket-fail whatever the panic left unanswered;
+                    // first-write-wins on the slot keeps already-delivered
+                    // answers intact.
+                    for q in &group {
+                        q.slot.fill(Err(ServeError::Internal(what.clone())));
+                    }
+                }
             }
         }
     }
 
-    fn answer_inner(&mut self, batch: &[PendingQuery]) {
-        let (generation, emb) = self.ensure_forward();
-        let idx: Vec<u32> = batch.iter().map(|(n, _, _)| *n).collect();
+    fn answer_inner(&mut self, model: ModelKey, batch: &[PendingQuery]) -> Result<(), ServeError> {
+        let (generation, emb) = self.ensure_forward(model)?;
+        let idx: Vec<u32> = batch.iter().map(|q| q.node).collect();
         let rows = emb.gather_rows(&idx);
-        let width = self.cell.hidden_size();
+        let width = self.models[&model].cell.hidden_size();
         let data = rows.data();
         let done = Instant::now();
-        batch
-            .par_iter()
-            .enumerate()
-            .for_each(|(i, (node, slot, submitted))| {
-                slot.fill(Ok(QueryResponse {
-                    node: *node,
-                    values: data[i * width..(i + 1) * width].to_vec(),
-                    generation,
-                    latency: done.saturating_duration_since(*submitted),
-                }));
-            });
+        batch.par_iter().enumerate().for_each(|(i, q)| {
+            q.slot.fill(Ok(QueryResponse {
+                node: q.node,
+                values: data[i * width..(i + 1) * width].to_vec(),
+                generation,
+                latency: done.saturating_duration_since(q.submitted),
+            }));
+        });
         // The registry copy feeds the Prometheus exposition; the engine's
         // own recorder (unbounded exact reservoir) produces the report.
         let registry = stgraph_telemetry::histogram("serve.latency_ns");
-        for (_, _, submitted) in batch {
-            let latency = done.saturating_duration_since(*submitted);
+        for q in batch {
+            let latency = done.saturating_duration_since(q.submitted);
             self.latencies.record(latency);
             registry.record_duration(latency);
         }
         self.queries += batch.len() as u64;
         self.batches += 1;
+        Ok(())
     }
 
     /// Serves until the queue is closed and drained. Each advance event
-    /// first pins the outgoing generation's recurrent step (so the hidden
-    /// chain covers every generation, queried or not), then applies the
-    /// update batch (which retries injected faults with backoff inside
-    /// [`LiveGraph::apply`]).
+    /// first pins the outgoing generation's recurrent step for *every*
+    /// resident model (so each hidden chain covers every generation,
+    /// queried or not), then applies the update batch (which retries
+    /// injected faults with backoff inside [`LiveGraph::apply`]).
     pub fn run(&mut self, queue: &RequestQueue, config: &ServeConfig) {
         loop {
             let drained = queue.drain(config.max_batch, config.flush_interval);
@@ -565,7 +735,11 @@ impl InferenceEngine {
                 self.answer(drained.queries, config.deadline);
             }
             if let Some(batch) = drained.advance {
-                self.ensure_forward();
+                let resident: Vec<ModelKey> = self.models.keys().copied().collect();
+                for key in resident {
+                    self.ensure_forward(key)
+                        .expect("resident models always resolve");
+                }
                 let _sp = stgraph_telemetry::span_cat("serve.ingest", "serve");
                 self.live.apply(&batch);
             }
@@ -945,5 +1119,136 @@ mod tests {
         let report = engine.report(Duration::from_millis(1));
         assert_eq!(report.panics, 1);
         assert_eq!(report.queries, 1, "only the post-panic query answered");
+    }
+
+    /// Two resident models answer interleaved queries over the same live
+    /// graph, each bit-identical to its own direct replay, and every
+    /// resident hidden chain advances across generations.
+    #[test]
+    fn multiple_resident_models_serve_independent_chains() {
+        let (src, x, _ps, cell_a) = setup();
+        let cell_b = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let mut ps = ParamSet::new();
+            Tgcn::new(&mut ps, "cell", 3, 4, &mut rng)
+        };
+        let expected_a = direct_chain(&src, &x, &cell_a);
+        let expected_b = direct_chain(&src, &x, &cell_b);
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell_a), x, live, "seastar");
+        engine.install_model(7, Box::new(cell_b));
+        assert_eq!(engine.resident_models(), 2);
+        let queue = RequestQueue::new(64);
+        let config = ServeConfig {
+            flush_interval: Duration::from_micros(200),
+            ..ServeConfig::default()
+        };
+        let diffs = src.diffs();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                let mut out = Vec::new();
+                for g in 0..3u64 {
+                    let tickets: Vec<(ModelKey, Ticket)> = (0..6)
+                        .flat_map(|n| {
+                            vec![
+                                (DEFAULT_MODEL, queue.submit(n).unwrap()),
+                                (7, queue.submit_for(7, n).unwrap()),
+                            ]
+                        })
+                        .collect();
+                    out.extend(
+                        tickets
+                            .into_iter()
+                            .map(|(m, t)| (m, t.wait().expect("both models answer"))),
+                    );
+                    if g < 2 {
+                        queue.advance(diffs[g as usize].clone());
+                    }
+                }
+                queue.close();
+                out
+            });
+            engine.run(&queue, &config);
+            let responses = producer.join().unwrap();
+            assert_eq!(responses.len(), 36);
+            for (model, resp) in responses {
+                let want = if model == DEFAULT_MODEL {
+                    &expected_a[resp.generation as usize]
+                } else {
+                    &expected_b[resp.generation as usize]
+                };
+                let row: Vec<u32> = (0..4)
+                    .map(|j| want.at(resp.node as usize, j).to_bits())
+                    .collect();
+                let got: Vec<u32> = resp.values.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    got, row,
+                    "model {model} node {} gen {}",
+                    resp.node, resp.generation
+                );
+            }
+        });
+        let report = engine.report(Duration::from_millis(1));
+        assert_eq!(
+            report.forwards, 6,
+            "one pinned forward per generation per resident model"
+        );
+    }
+
+    /// An unknown model key fails with a typed error (never a hang), and a
+    /// provider hook resolves keys lazily on the engine thread.
+    #[test]
+    fn unknown_model_is_typed_and_provider_resolves_lazily() {
+        let (src, x, _ps, cell) = setup();
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell), x, live, "seastar");
+        engine.set_model_provider(Box::new(|key| {
+            (key == 42).then(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                let mut ps = ParamSet::new();
+                Box::new(Tgcn::new(&mut ps, "cell", 3, 4, &mut rng)) as Box<dyn RecurrentCell>
+            })
+        }));
+        let queue = RequestQueue::new(16);
+        let config = ServeConfig {
+            flush_interval: Duration::from_micros(100),
+            ..ServeConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                let bad = queue.submit_for(9000, 0).unwrap().wait();
+                let good = queue.submit_for(42, 1).unwrap().wait();
+                queue.close();
+                (bad, good)
+            });
+            engine.run(&queue, &config);
+            let (bad, good) = producer.join().unwrap();
+            assert_eq!(bad.unwrap_err(), ServeError::UnknownModel(9000));
+            let resp = good.expect("provider-resolved model must serve");
+            assert_eq!(resp.values.len(), 4);
+        });
+        assert_eq!(engine.resident_models(), 2);
+    }
+
+    /// The resident-model cap LRU-evicts provider-loaded models but never
+    /// the default one.
+    #[test]
+    fn model_cap_evicts_lru_but_never_default() {
+        let (src, x, _ps, cell) = setup();
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell), x, live, "seastar");
+        engine.set_max_resident_models(2);
+        let fresh = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut ps = ParamSet::new();
+            Box::new(Tgcn::new(&mut ps, "cell", 3, 4, &mut rng)) as Box<dyn RecurrentCell>
+        };
+        engine.install_model(1, fresh(1));
+        assert_eq!(engine.resident_models(), 2);
+        engine.install_model(2, fresh(2));
+        assert_eq!(engine.resident_models(), 2, "cap holds");
+        assert!(engine.models.contains_key(&DEFAULT_MODEL), "default pinned");
+        assert!(engine.models.contains_key(&2), "newest resident");
+        assert!(!engine.models.contains_key(&1), "LRU victim evicted");
     }
 }

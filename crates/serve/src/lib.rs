@@ -12,22 +12,37 @@
 //!   advanced by [`UpdateBatch`](stgraph_dyngraph::UpdateBatch) diffs under
 //!   a generation guard (readers never see a half-applied batch);
 //! * [`engine`] — a micro-batching query engine that coalesces concurrent
-//!   node queries into one batched recurrent step per graph generation,
-//!   with latency percentiles and pool/memory stats in [`stats`].
+//!   node queries into one batched recurrent step per graph generation and
+//!   per resident model (queries carry a [`ModelKey`]), with latency
+//!   percentiles and pool/memory stats in [`stats`];
+//! * [`host`] — [`EngineHost`], which spawns the engine on its own thread
+//!   (cells are `!Send`) behind a shared [`RequestQueue`], the submit
+//!   boundary the network tier (`stgraph-net`) feeds;
+//! * [`zoo`] — [`build_cell`], the architecture-name → cell constructor
+//!   shared by the binaries and the per-tenant model registry.
 //!
 //! The `serve` binary wires them together: load an `.stgc` checkpoint,
 //! replay a dataset's update stream, answer queries, print the report.
+//! The network edge — HTTP + binary protocols, tenants, admission — lives
+//! in the `stgraph-net` crate on top of this one.
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod engine;
+pub mod host;
 pub mod ingest;
 pub mod manager;
 pub mod stats;
+pub mod zoo;
 
 pub use checkpoint::{load_checkpoint, load_into, save_checkpoint, save_model, CheckpointError};
-pub use engine::{InferenceEngine, QueryResponse, RequestQueue, ServeConfig, ServeError, Ticket};
+pub use engine::{
+    InferenceEngine, ModelKey, ModelProvider, QueryResponse, RequestQueue, ServeConfig, ServeError,
+    Ticket, DEFAULT_MODEL,
+};
+pub use host::EngineHost;
 pub use ingest::{IngestError, IngestStats, LiveGraph};
 pub use manager::CheckpointManager;
 pub use stats::{LatencyRecorder, ServeReport};
+pub use zoo::build_cell;

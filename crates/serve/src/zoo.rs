@@ -1,0 +1,52 @@
+//! The serving-side model zoo: builds any of the workspace's recurrent
+//! cells by architecture name, with the training binaries' exact RNG draw
+//! order, so checkpoint weights load into bit-identical parameter shapes.
+//!
+//! Shared by the `serve` binary, the network tier's model registry (which
+//! materialises per-tenant checkpoints on the engine thread) and tests.
+
+use rand_chacha::ChaCha8Rng;
+use stgraph::tgnn::{GConvGru, GConvLstm, RecurrentCell, Tgcn};
+use stgraph::tgnn_ext::Dcrnn;
+use stgraph_tensor::nn::ParamSet;
+
+/// Architecture names [`build_cell`] accepts.
+pub const ARCHITECTURES: [&str; 4] = ["tgcn", "gconvgru", "gconvlstm", "dcrnn"];
+
+/// Builds the named cell, registering its parameters (named under `"cell"`)
+/// into `params`. Returns `None` for an unknown architecture.
+pub fn build_cell(
+    arch: &str,
+    params: &mut ParamSet,
+    features: usize,
+    hidden: usize,
+    rng: &mut ChaCha8Rng,
+) -> Option<Box<dyn RecurrentCell>> {
+    Some(match arch {
+        "tgcn" => Box::new(Tgcn::new(params, "cell", features, hidden, rng)),
+        "gconvgru" => Box::new(GConvGru::new(params, "cell", features, hidden, 2, rng)),
+        "gconvlstm" => Box::new(GConvLstm::new(params, "cell", features, hidden, 2, rng)),
+        "dcrnn" => Box::new(Dcrnn::new(params, "cell", features, hidden, 2, rng)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_listed_architecture_builds() {
+        for arch in ARCHITECTURES {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut ps = ParamSet::new();
+            let cell = build_cell(arch, &mut ps, 3, 4, &mut rng).expect(arch);
+            // GConvLstm's served width is 2×hidden (it carries cell state).
+            assert!(cell.hidden_size() >= 4, "{arch}");
+            assert!(!ps.is_empty(), "{arch} must register parameters");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(build_cell("nope", &mut ParamSet::new(), 3, 4, &mut rng).is_none());
+    }
+}

@@ -92,40 +92,84 @@ fn prom_f64(v: f64) -> String {
     }
 }
 
-fn write_histogram(out: &mut String, name: &str, h: &Histogram) {
+/// Writes one histogram's bucket/sum/count series. `labels` is the
+/// pre-rendered label body (empty for unlabeled series); the `le` bucket
+/// label is appended after it. The `# TYPE` line is emitted only the first
+/// time `name` is seen, so many labeled series of one metric parse as one
+/// histogram family.
+fn write_histogram(
+    out: &mut String,
+    typed: &mut std::collections::HashSet<String>,
+    name: &str,
+    labels: &str,
+    h: &Histogram,
+) {
     let base = prom_name(name);
-    let _ = writeln!(out, "# TYPE {base} histogram");
+    if typed.insert(base.clone()) {
+        let _ = writeln!(out, "# TYPE {base} histogram");
+    }
+    let sep = if labels.is_empty() { "" } else { "," };
     let mut cumulative = 0u64;
     for (upper, n) in h.buckets() {
         if n == 0 {
             continue;
         }
         cumulative += n;
-        let _ = writeln!(out, "{base}_bucket{{le=\"{upper}\"}} {cumulative}");
+        let _ = writeln!(
+            out,
+            "{base}_bucket{{{labels}{sep}le=\"{upper}\"}} {cumulative}"
+        );
     }
-    let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", h.count());
-    let _ = writeln!(out, "{base}_sum {}", h.sum());
-    let _ = writeln!(out, "{base}_count {}", h.count());
+    let _ = writeln!(
+        out,
+        "{base}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let brace = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{base}_sum{brace} {}", h.sum());
+    let _ = writeln!(out, "{base}_count{brace} {}", h.count());
 }
 
 /// Renders every counter, gauge, histogram and span aggregate as
-/// Prometheus text exposition format (version 0.0.4). Span aggregates
-/// become three series labelled by span name:
-/// `stgraph_span_count{span="..."}`, `_total_ns`, `_max_ns`.
+/// Prometheus text exposition format (version 0.0.4) — including the
+/// labeled series the network tier records per tenant
+/// (`stgraph_net_requests{tenant="acme"} 5`). Span aggregates become three
+/// series labelled by span name: `stgraph_span_count{span="..."}`,
+/// `_total_ns`, `_max_ns`.
 pub fn prometheus_text() -> String {
     let mut out = String::new();
+    let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
     for (name, v) in metrics::counter_values() {
         let base = prom_name(&name);
-        let _ = writeln!(out, "# TYPE {base} counter");
+        if typed.insert(base.clone()) {
+            let _ = writeln!(out, "# TYPE {base} counter");
+        }
         let _ = writeln!(out, "{base} {v}");
+    }
+    for (name, labels, v) in metrics::labeled_counter_values() {
+        let base = prom_name(&name);
+        if typed.insert(base.clone()) {
+            let _ = writeln!(out, "# TYPE {base} counter");
+        }
+        let _ = writeln!(out, "{base}{{{labels}}} {v}");
     }
     for (name, v) in metrics::gauge_values() {
         let base = prom_name(&name);
-        let _ = writeln!(out, "# TYPE {base} gauge");
+        if typed.insert(base.clone()) {
+            let _ = writeln!(out, "# TYPE {base} gauge");
+        }
         let _ = writeln!(out, "{base} {}", prom_f64(v));
     }
+    let mut hist_typed = std::collections::HashSet::new();
     for (name, h) in metrics::histogram_values() {
-        write_histogram(&mut out, &name, h);
+        write_histogram(&mut out, &mut hist_typed, &name, "", h);
+    }
+    for (name, labels, h) in metrics::labeled_histogram_values() {
+        write_histogram(&mut out, &mut hist_typed, &name, &labels, h);
     }
     let stats = span::span_stats();
     if !stats.is_empty() {
@@ -208,6 +252,31 @@ mod tests {
         assert!(text.contains("stgraph_test_export_hist_count"));
         assert!(text.contains("stgraph_test_export_hist_bucket{le=\"+Inf\"}"));
         assert!(text.contains("stgraph_test_export_hist_sum"));
+    }
+
+    #[test]
+    fn prometheus_text_exposes_labeled_series_with_one_type_line() {
+        let _g = crate::test_guard();
+        crate::counter_labeled("test.export.tenant_req", &[("tenant", "a")]).add(3);
+        crate::counter_labeled("test.export.tenant_req", &[("tenant", "b")]).add(4);
+        crate::histogram_labeled("test.export.tenant_lat", &[("tenant", "a")]).record(50);
+        crate::histogram_labeled("test.export.tenant_lat", &[("tenant", "b")]).record(60);
+        let text = prometheus_text();
+        assert!(text.contains("stgraph_test_export_tenant_req{tenant=\"a\"} 3"));
+        assert!(text.contains("stgraph_test_export_tenant_req{tenant=\"b\"} 4"));
+        assert!(text.contains("stgraph_test_export_tenant_lat_bucket{tenant=\"a\",le=\"+Inf\"}"));
+        assert!(text.contains("stgraph_test_export_tenant_lat_count{tenant=\"b\"}"));
+        assert_eq!(
+            text.matches("# TYPE stgraph_test_export_tenant_req counter")
+                .count(),
+            1,
+            "one TYPE line per metric family"
+        );
+        assert_eq!(
+            text.matches("# TYPE stgraph_test_export_tenant_lat histogram")
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod metrics;
 pub mod span;
 
 pub use hist::Histogram;
-pub use metrics::{counter, histogram, register_gauge, register_gauge_provider, Counter};
+pub use metrics::{
+    counter, counter_labeled, histogram, histogram_labeled, register_gauge,
+    register_gauge_provider, Counter,
+};
 pub use span::{span, span_cat, span_timed, SpanGuard, TimeAccumulator};
 
 use std::sync::atomic::{AtomicU8, Ordering};

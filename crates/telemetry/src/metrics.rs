@@ -15,6 +15,39 @@ use std::sync::{Mutex, OnceLock};
 static COUNTERS: OnceLock<Mutex<HashMap<String, &'static AtomicU64>>> = OnceLock::new();
 static HISTOGRAMS: OnceLock<Mutex<HashMap<String, &'static Histogram>>> = OnceLock::new();
 
+/// Labeled series are interned by `(name, rendered-label-set)`; the label
+/// set is rendered once at intern time in Prometheus form
+/// (`tenant="a",proto="http"`, keys sorted) so exporters emit it verbatim.
+type LabeledKey = (String, String);
+static LABELED_COUNTERS: OnceLock<Mutex<HashMap<LabeledKey, &'static AtomicU64>>> = OnceLock::new();
+static LABELED_HISTOGRAMS: OnceLock<Mutex<HashMap<LabeledKey, &'static Histogram>>> =
+    OnceLock::new();
+
+/// Renders a label set in Prometheus form with keys sorted (so the same
+/// logical series always interns to the same cell) and values escaped.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
 type GaugeFn = Box<dyn Fn() -> f64 + Send + Sync>;
 type ProviderFn = Box<dyn Fn() -> Vec<(String, f64)> + Send + Sync>;
 
@@ -65,6 +98,37 @@ pub fn histogram(name: &str) -> &'static Histogram {
     }
     let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
     map.insert(name.to_string(), h);
+    h
+}
+
+/// Interns (or finds) the labeled counter `name{labels}` — e.g.
+/// `counter_labeled("net.requests", &[("tenant", "acme")])`. Same cost
+/// model as [`counter`]: the returned handle is `Copy`, cache it at hot
+/// call sites. Label keys are sorted at intern time, so label order never
+/// splits a series.
+pub fn counter_labeled(name: &str, labels: &[(&str, &str)]) -> Counter {
+    let key = (name.to_string(), render_labels(labels));
+    let map = LABELED_COUNTERS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = map.lock().unwrap();
+    if let Some(cell) = map.get(&key) {
+        return Counter(cell);
+    }
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    map.insert(key, cell);
+    Counter(cell)
+}
+
+/// Interns (or finds) the labeled registry histogram `name{labels}` — the
+/// per-tenant latency series the network tier records into.
+pub fn histogram_labeled(name: &str, labels: &[(&str, &str)]) -> &'static Histogram {
+    let key = (name.to_string(), render_labels(labels));
+    let map = LABELED_HISTOGRAMS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = map.lock().unwrap();
+    if let Some(h) = map.get(&key) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    map.insert(key, h);
     h
 }
 
@@ -124,6 +188,37 @@ pub fn gauge_values() -> Vec<(String, f64)> {
     out
 }
 
+/// Snapshots every labeled counter as `(name, labels, value)`, sorted by
+/// name then label set. `labels` is the rendered Prometheus body
+/// (`tenant="a"`), ready to wrap in braces.
+pub fn labeled_counter_values() -> Vec<(String, String, u64)> {
+    let Some(map) = LABELED_COUNTERS.get() else {
+        return Vec::new();
+    };
+    let map = map.lock().unwrap();
+    let mut out: Vec<(String, String, u64)> = map
+        .iter()
+        .map(|((n, l), c)| (n.clone(), l.clone(), c.load(Ordering::Relaxed)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Snapshots every labeled histogram as `(name, labels, &Histogram)`,
+/// sorted by name then label set.
+pub fn labeled_histogram_values() -> Vec<(String, String, &'static Histogram)> {
+    let Some(map) = LABELED_HISTOGRAMS.get() else {
+        return Vec::new();
+    };
+    let map = map.lock().unwrap();
+    let mut out: Vec<(String, String, &'static Histogram)> = map
+        .iter()
+        .map(|((n, l), h)| (n.clone(), l.clone(), *h))
+        .collect();
+    out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    out
+}
+
 /// Snapshots every registry histogram as `(name, &Histogram)`, sorted.
 pub fn histogram_values() -> Vec<(String, &'static Histogram)> {
     let Some(map) = HISTOGRAMS.get() else {
@@ -158,6 +253,48 @@ mod tests {
         let h = histogram("test.metrics.hist");
         h.record(42);
         assert_eq!(histogram("test.metrics.hist").count(), h.count());
+    }
+
+    #[test]
+    fn labeled_counters_intern_per_series_and_ignore_label_order() {
+        let a = counter_labeled("test.metrics.lbl", &[("tenant", "a"), ("proto", "http")]);
+        let a2 = counter_labeled("test.metrics.lbl", &[("proto", "http"), ("tenant", "a")]);
+        let b = counter_labeled("test.metrics.lbl", &[("tenant", "b"), ("proto", "http")]);
+        let before_a = a.get();
+        let before_b = b.get();
+        a.inc();
+        a2.add(2);
+        b.inc();
+        assert_eq!(a.get(), before_a + 3, "label order must not split series");
+        assert_eq!(b.get(), before_b + 1);
+        let snap = labeled_counter_values();
+        let row = snap
+            .iter()
+            .find(|(n, l, _)| n == "test.metrics.lbl" && l.contains("tenant=\"a\""))
+            .expect("labeled series snapshotted");
+        assert_eq!(row.1, "proto=\"http\",tenant=\"a\"", "keys sorted");
+    }
+
+    #[test]
+    fn labeled_histograms_intern_and_snapshot() {
+        let h = histogram_labeled("test.metrics.lblhist", &[("tenant", "z")]);
+        h.record(10);
+        let snap = labeled_histogram_values();
+        let (_, labels, got) = snap
+            .iter()
+            .find(|(n, _, _)| n == "test.metrics.lblhist")
+            .expect("labeled histogram snapshotted");
+        assert_eq!(labels, "tenant=\"z\"");
+        assert!(got.count() >= 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            render_labels(&[("k", "a\"b\\c")]),
+            "k=\"a\\\"b\\\\c\"",
+            "quotes and backslashes escaped"
+        );
     }
 
     #[test]

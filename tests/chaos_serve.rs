@@ -327,3 +327,113 @@ fn overload_sheds_with_typed_errors_and_keeps_serving() {
     assert_eq!(report.shed, 4);
     assert_eq!(report.queries, 2);
 }
+
+/// Network-tier chaos: a `net.read` fault kills a connection between
+/// requests. The invariant is isolation — the dying connection takes out
+/// exactly one client, the engine never sees the torn request, and the
+/// next connection is served answers bit-identical to before the fault.
+#[test]
+fn net_read_fault_kills_connection_but_engine_keeps_serving() {
+    use std::io::BufReader;
+    use std::net::TcpStream;
+    use stgraph_net::{
+        build_resident_cell, http, AdmissionController, ModelMeta, ModelRegistry, NetConfig,
+        NetServer, ServeContext, TenantQuota,
+    };
+    use stgraph_serve::{save_checkpoint, EngineHost};
+    use stgraph_tensor::StateDict;
+
+    let _g = stgraph_faultline::test_lock();
+    stgraph_faultline::clear_plan();
+
+    // One tenant, published through the real checkpoint path.
+    let dir = std::env::temp_dir().join(format!("stgraph-chaos-net-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t0.stgc");
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut ps = ParamSet::new();
+        stgraph_serve::build_cell("tgcn", &mut ps, FEATURES, HIDDEN, &mut rng).unwrap();
+        save_checkpoint(&path, &ps.to_state_dict()).unwrap();
+    }
+    let registry = Arc::new(ModelRegistry::new(16 << 20));
+    registry
+        .publish(
+            "t0",
+            ModelMeta {
+                arch: "tgcn".into(),
+                features: FEATURES,
+                hidden: HIDDEN,
+                init_seed: 21,
+            },
+            &path,
+        )
+        .unwrap();
+
+    let reg = Arc::clone(&registry);
+    let host = EngineHost::spawn(ServeConfig::default(), move || {
+        let live = LiveGraph::from_source(&source());
+        let mut engine = InferenceEngine::new(Box::new(cell(7)), features(9), live, "seastar");
+        engine.set_model_provider(Box::new(move |key| {
+            reg.resident(key).ok().and_then(|m| build_resident_cell(&m))
+        }));
+        engine
+    });
+    let ctx = Arc::new(ServeContext {
+        queue: Arc::clone(host.queue()),
+        registry,
+        admission: AdmissionController::new(TenantQuota::default()),
+        num_nodes: NODES as u32,
+    });
+    let handle = NetServer::start(
+        NetConfig {
+            threads: 2,
+            ..NetConfig::default()
+        },
+        ctx,
+    )
+    .unwrap();
+
+    let exchange = |stream: &TcpStream, reader: &mut BufReader<TcpStream>| {
+        let mut w = stream.try_clone().unwrap();
+        http::write_request(&mut w, "GET", "/infer?tenant=t0&node=2", b"").unwrap();
+        http::read_response(reader)
+    };
+
+    // Arm the plan before connecting: the connection's first net.read
+    // check passes (baseline request served), the second — evaluated right
+    // after the first response is written, before the server blocks on the
+    // next read — kills the connection mid-stream.
+    stgraph_faultline::set_plan(FaultPlan::new().fail_nth("net.read", 2));
+    let conn = TcpStream::connect(handle.http_addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let (status, _, baseline) = exchange(&conn, &mut reader).unwrap();
+    assert_eq!(status, 200);
+
+    let torn = exchange(&conn, &mut reader);
+    stgraph_faultline::clear_plan();
+    assert!(
+        torn.is_err(),
+        "the faulted connection must die, not serve: {torn:?}"
+    );
+
+    // Isolation: a fresh connection gets a bit-identical answer — the torn
+    // request never reached the engine and no state was corrupted.
+    let conn2 = TcpStream::connect(handle.http_addr).unwrap();
+    conn2
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader2 = BufReader::new(conn2.try_clone().unwrap());
+    let (status, _, after) = exchange(&conn2, &mut reader2).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        baseline, after,
+        "post-fault answers must be bit-identical to pre-fault"
+    );
+
+    handle.shutdown();
+    let report = host.shutdown();
+    assert_eq!(report.panics, 0, "no engine panic under a network fault");
+}

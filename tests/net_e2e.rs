@@ -1,0 +1,389 @@
+//! End-to-end tests for the network serve tier: real sockets, both
+//! protocols, the multi-tenant registry and admission control — the full
+//! path a production client takes, in-process.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use stgraph_dyngraph::source::DtdgSource;
+use stgraph_net::{
+    build_resident_cell, http, wire, AdmissionController, ModelMeta, ModelRegistry, NetConfig,
+    NetServer, ServeContext, ServerHandle, TenantQuota,
+};
+use stgraph_serve::ingest::LiveGraph;
+use stgraph_serve::{save_checkpoint, EngineHost, InferenceEngine, ServeConfig};
+use stgraph_tensor::nn::ParamSet;
+use stgraph_tensor::{StateDict, Tensor};
+
+const NODES: usize = 6;
+const FEATURES: usize = 3;
+const HIDDEN: usize = 4;
+
+fn write_tenant_checkpoint(dir: &Path, tenant: &str, seed: u64) -> PathBuf {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut params = ParamSet::new();
+    stgraph_serve::build_cell("tgcn", &mut params, FEATURES, HIDDEN, &mut rng).unwrap();
+    let path = dir.join(format!("{tenant}.stgc"));
+    save_checkpoint(&path, &params.to_state_dict()).unwrap();
+    path
+}
+
+struct Stack {
+    handle: Option<ServerHandle>,
+    host: Option<EngineHost>,
+}
+
+impl Stack {
+    fn http(&self) -> SocketAddr {
+        self.handle.as_ref().unwrap().http_addr
+    }
+
+    fn bin(&self) -> SocketAddr {
+        self.handle.as_ref().unwrap().bin_addr
+    }
+
+    fn stop(mut self) {
+        self.handle.take().unwrap().shutdown();
+        self.host.take().unwrap().shutdown();
+    }
+}
+
+/// Boots checkpoints → registry → engine thread → listeners. `quotas`
+/// overrides the (generous) default quota per tenant.
+fn start_stack(tag: &str, quotas: &[(&str, TenantQuota)]) -> Stack {
+    let dir = std::env::temp_dir().join(format!("stgraph-net-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new(64 << 20));
+    for (i, tenant) in ["t0", "t1"].iter().enumerate() {
+        let seed = 11 + i as u64;
+        let path = write_tenant_checkpoint(&dir, tenant, seed);
+        registry
+            .publish(
+                tenant,
+                ModelMeta {
+                    arch: "tgcn".into(),
+                    features: FEATURES,
+                    hidden: HIDDEN,
+                    init_seed: seed,
+                },
+                &path,
+            )
+            .unwrap();
+    }
+
+    let reg_for_engine = Arc::clone(&registry);
+    let host = EngineHost::spawn(ServeConfig::default(), move || {
+        let src = DtdgSource::from_snapshot_edges(NODES, vec![vec![(0, 1), (1, 2), (2, 3)]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let cell =
+            stgraph_serve::build_cell("tgcn", &mut params, FEATURES, HIDDEN, &mut rng).unwrap();
+        let feats = Tensor::rand_uniform((NODES, FEATURES), -1.0, 1.0, &mut rng);
+        let mut engine = InferenceEngine::new(cell, feats, LiveGraph::from_source(&src), "seastar");
+        engine.set_model_provider(Box::new(move |key| {
+            reg_for_engine
+                .resident(key)
+                .ok()
+                .and_then(|m| build_resident_cell(&m))
+        }));
+        engine
+    });
+
+    let admission = AdmissionController::new(TenantQuota {
+        rate_per_s: 100_000,
+        burst: 10_000,
+        max_inflight: 64,
+    });
+    for (tenant, quota) in quotas {
+        admission.set_quota(tenant, *quota);
+    }
+
+    let ctx = Arc::new(ServeContext {
+        queue: Arc::clone(host.queue()),
+        registry,
+        admission,
+        num_nodes: NODES as u32,
+    });
+    let handle = NetServer::start(
+        NetConfig {
+            threads: 2,
+            read_timeout: Duration::from_secs(5),
+            ..NetConfig::default()
+        },
+        ctx,
+    )
+    .unwrap();
+    Stack {
+        handle: Some(handle),
+        host: Some(host),
+    }
+}
+
+fn http_exchange(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut writer = s;
+    http::write_request(&mut writer, method, target, body).unwrap();
+    let (status, _, body) = http::read_response(&mut reader).unwrap();
+    (status, body)
+}
+
+fn bin_exchange(addr: SocketAddr, req: &wire::Request) -> wire::Response {
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut writer = s;
+    wire::write_frame(&mut writer, &wire::encode_request(req)).unwrap();
+    let body = wire::read_frame(&mut reader).unwrap().unwrap();
+    wire::decode_response(&body).unwrap()
+}
+
+#[test]
+fn http_and_binary_infer_payloads_are_bitwise_identical() {
+    let stack = start_stack("bitwise", &[]);
+
+    let (status, http_payload) = http_exchange(stack.http(), "GET", "/infer?tenant=t0&node=3", b"");
+    assert_eq!(status, 200, "http infer should succeed");
+    let bin_payload = match bin_exchange(
+        stack.bin(),
+        &wire::Request::Infer {
+            tenant: "t0".into(),
+            node: 3,
+        },
+    ) {
+        wire::Response::Ok(p) => p,
+        other => panic!("binary infer failed: {other:?}"),
+    };
+    assert_eq!(
+        http_payload, bin_payload,
+        "the two protocols must serve byte-identical inference payloads"
+    );
+    let (node, generation, values) = wire::decode_infer_payload(&http_payload).unwrap();
+    assert_eq!(node, 3);
+    assert_eq!(values.len(), HIDDEN);
+    assert!(values.iter().all(|v| v.is_finite()));
+
+    // A different tenant resolves a different model: same node, same
+    // generation, different weights, different bytes.
+    let (status, other_payload) =
+        http_exchange(stack.http(), "GET", "/infer?tenant=t1&node=3", b"");
+    assert_eq!(status, 200);
+    let (_, other_generation, _) = wire::decode_infer_payload(&other_payload).unwrap();
+    assert_eq!(generation, other_generation);
+    assert_ne!(
+        http_payload, other_payload,
+        "tenants serve their own models"
+    );
+
+    stack.stop();
+}
+
+#[test]
+fn over_quota_tenant_gets_typed_429_while_neighbour_serves() {
+    // t0 can spend exactly one token, ever (zero refill); t1 keeps the
+    // generous default.
+    let stack = start_stack(
+        "quota",
+        &[(
+            "t0",
+            TenantQuota {
+                rate_per_s: 0,
+                burst: 1,
+                max_inflight: 8,
+            },
+        )],
+    );
+
+    let (status, _) = http_exchange(stack.http(), "GET", "/infer?tenant=t0&node=1", b"");
+    assert_eq!(status, 200, "the burst token admits the first request");
+    let (status, body) = http_exchange(stack.http(), "GET", "/infer?tenant=t0&node=1", b"");
+    assert_eq!(
+        status, 429,
+        "over quota is a typed 429, not a hang or a 500"
+    );
+    assert!(String::from_utf8_lossy(&body).contains("rate limited"));
+
+    // The binary protocol sees the same admission decision as its typed
+    // status byte.
+    match bin_exchange(
+        stack.bin(),
+        &wire::Request::Infer {
+            tenant: "t0".into(),
+            node: 1,
+        },
+    ) {
+        wire::Response::Err { code, .. } => assert_eq!(code, wire::status::RATE_LIMITED),
+        other => panic!("expected rate-limited, got {other:?}"),
+    }
+
+    // The neighbour is untouched by t0's exhaustion.
+    for _ in 0..5 {
+        let (status, _) = http_exchange(stack.http(), "GET", "/infer?tenant=t1&node=2", b"");
+        assert_eq!(status, 200, "t1 must keep serving while t0 is shed");
+    }
+
+    stack.stop();
+}
+
+#[test]
+fn unknown_tenant_and_bad_requests_are_typed() {
+    let stack = start_stack("typed", &[]);
+
+    let (status, _) = http_exchange(stack.http(), "GET", "/infer?tenant=ghost&node=1", b"");
+    assert_eq!(status, 404, "unpublished tenant");
+    let (status, _) = http_exchange(stack.http(), "GET", "/infer?tenant=t0&node=999", b"");
+    assert_eq!(status, 400, "node out of range");
+    let (status, _) = http_exchange(stack.http(), "GET", "/infer?node=1", b"");
+    assert_eq!(status, 400, "missing tenant");
+    let (status, _) = http_exchange(stack.http(), "GET", "/nope", b"");
+    assert_eq!(status, 404);
+    let (status, _) = http_exchange(stack.http(), "POST", "/ingest?tenant=t0", b"* 1 2\n");
+    assert_eq!(status, 400, "bad ingest op line");
+
+    match bin_exchange(
+        stack.bin(),
+        &wire::Request::Infer {
+            tenant: "ghost".into(),
+            node: 1,
+        },
+    ) {
+        wire::Response::Err { code, .. } => assert_eq!(code, wire::status::UNKNOWN_TENANT),
+        other => panic!("expected unknown-tenant, got {other:?}"),
+    }
+
+    stack.stop();
+}
+
+#[test]
+fn ingest_advances_generation_for_all_tenants() {
+    let stack = start_stack("ingest", &[]);
+
+    let gen_at = |tenant: &str| {
+        let (status, payload) = http_exchange(
+            stack.http(),
+            "GET",
+            &format!("/infer?tenant={tenant}&node=0"),
+            b"",
+        );
+        assert_eq!(status, 200);
+        wire::decode_infer_payload(&payload).unwrap().1
+    };
+
+    let g0 = gen_at("t0");
+    let (status, body) =
+        http_exchange(stack.http(), "POST", "/ingest?tenant=t0", b"+ 4 5\n+ 3 5\n");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(gen_at("t0"), g0 + 1, "http ingest advances the generation");
+    // Updates are shared stream state: every tenant serves the new graph.
+    assert_eq!(gen_at("t1"), g0 + 1);
+
+    match bin_exchange(
+        stack.bin(),
+        &wire::Request::Ingest {
+            tenant: "t1".into(),
+            additions: vec![(2, 5)],
+            deletions: vec![(4, 5)],
+        },
+    ) {
+        wire::Response::Ok(_) => {}
+        other => panic!("binary ingest failed: {other:?}"),
+    }
+    assert_eq!(gen_at("t0"), g0 + 2, "binary ingest advances it again");
+
+    stack.stop();
+}
+
+#[test]
+fn metrics_endpoint_serves_parseable_prometheus_with_tenant_labels() {
+    let stack = start_stack("metrics", &[]);
+
+    for _ in 0..3 {
+        let (status, _) = http_exchange(stack.http(), "GET", "/infer?tenant=t0&node=1", b"");
+        assert_eq!(status, 200);
+    }
+    let (status, body) = http_exchange(stack.http(), "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+
+    assert!(
+        text.contains("stgraph_net_requests{"),
+        "per-tenant request counter exported"
+    );
+    assert!(
+        text.contains("tenant=\"t0\""),
+        "tenant label present: {text:.300}"
+    );
+    assert!(
+        text.contains("stgraph_net_latency_ns_bucket{"),
+        "per-tenant latency histogram exported"
+    );
+
+    // Every non-comment line must be `name value` or `name{labels} value`
+    // with a numeric value — the shape a Prometheus scraper requires.
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (series, value) = line.rsplit_once(' ').expect(line);
+        assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad series name: {line}"
+        );
+        if let Some(rest) = series.get(name_end..) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "bad labels: {line}"
+                );
+            }
+        }
+    }
+
+    let (status, body) = http_exchange(stack.http(), "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+
+    stack.stop();
+}
+
+#[test]
+fn admin_shutdown_drains_and_refuses_new_work() {
+    let stack = start_stack("shutdown", &[]);
+
+    let (status, _) = http_exchange(stack.http(), "POST", "/admin/shutdown", b"");
+    assert_eq!(status, 200);
+    assert!(
+        stack
+            .handle
+            .as_ref()
+            .unwrap()
+            .wait_timeout(Duration::from_secs(10)),
+        "shutdown endpoint must trigger the handle's wait"
+    );
+    // New connections may be refused outright or answered with a typed
+    // shutting-down status — never served as if nothing happened.
+    if let Ok(s) = TcpStream::connect(stack.http()) {
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut writer = s;
+        if http::write_request(&mut writer, "GET", "/infer?tenant=t0&node=1", b"").is_ok() {
+            if let Ok((status, _, _)) = http::read_response(&mut reader) {
+                assert_eq!(status, 503, "post-shutdown infer is a typed 503");
+            }
+        }
+    }
+
+    stack.stop();
+}
