@@ -113,7 +113,10 @@ struct TenantState {
 
 /// Thread-safe per-tenant admission. Unknown tenants get the default
 /// quota on first sight; [`AdmissionController::set_quota`] overrides per
-/// tenant (resetting its bucket).
+/// tenant (resetting its bucket, keeping its in-flight count). First sight
+/// allocates per-tenant state, so callers must bound the name universe —
+/// the network tier registry-validates every tenant before admitting it,
+/// keeping this table sized by published tenants, not by peer input.
 pub struct AdmissionController {
     start: Instant,
     default_quota: TenantQuota,
@@ -131,17 +134,27 @@ impl AdmissionController {
     }
 
     /// Overrides one tenant's quota (and refills its bucket to the new
-    /// burst).
+    /// burst). The tenant's in-flight counter is preserved: outstanding
+    /// [`InflightGuard`]s decrement the counter new admissions are checked
+    /// against, so a quota change can never let the concurrency cap be
+    /// transiently exceeded by requests admitted under the old quota.
     pub fn set_quota(&self, tenant: &str, quota: TenantQuota) {
         let mut map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
-        map.insert(
-            tenant.to_string(),
-            TenantState {
-                bucket: TokenBucket::new(quota.rate_per_s, quota.burst),
-                quota,
-                inflight: Arc::new(AtomicU64::new(0)),
-            },
-        );
+        let bucket = TokenBucket::new(quota.rate_per_s, quota.burst);
+        match map.entry(tenant.to_string()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let st = e.get_mut();
+                st.bucket = bucket;
+                st.quota = quota;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(TenantState {
+                    bucket,
+                    quota,
+                    inflight: Arc::new(AtomicU64::new(0)),
+                });
+            }
+        }
     }
 
     /// Admits or refuses one request at the current time. On success the
@@ -296,6 +309,36 @@ mod tests {
         }
         // One second later the bucket refilled one token.
         let _g3 = ctl.admit_at("a", SEC).unwrap();
+    }
+
+    #[test]
+    fn set_quota_preserves_outstanding_inflight() {
+        let ctl = AdmissionController::new(TenantQuota {
+            rate_per_s: 1000,
+            burst: 10,
+            max_inflight: 2,
+        });
+        let g1 = ctl.admit_at("a", 0).unwrap();
+        let _g2 = ctl.admit_at("a", 0).unwrap();
+        // Re-quota while two requests are in flight: the counter the old
+        // guards decrement must be the one new admissions are checked
+        // against, or the cap is transiently exceeded.
+        ctl.set_quota(
+            "a",
+            TenantQuota {
+                rate_per_s: 1000,
+                burst: 10,
+                max_inflight: 2,
+            },
+        );
+        assert_eq!(ctl.inflight("a"), 2, "in-flight survives the override");
+        assert_eq!(
+            ctl.admit_at("a", 0).err(),
+            Some(AdmissionError::TooManyInFlight { limit: 2 })
+        );
+        drop(g1);
+        assert_eq!(ctl.inflight("a"), 1, "old guard releases the kept counter");
+        assert!(ctl.admit_at("a", 0).is_ok());
     }
 
     #[test]

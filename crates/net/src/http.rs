@@ -4,7 +4,8 @@
 //! Supported: request line + headers + `Content-Length` bodies,
 //! percent-encoded query strings, keep-alive (1.1 default) and
 //! `Connection: close`. Not supported (rejected, not mis-parsed): chunked
-//! transfer encoding, HTTP/1.0 keep-alive, multiline headers.
+//! transfer encoding, HTTP/1.0 keep-alive, multiline headers, duplicate
+//! `Content-Length` headers (a request-smuggling shape on keep-alive).
 
 use std::io::{self, BufRead, Write};
 
@@ -85,12 +86,7 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<HttpRequest>> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
-        .transpose()?
-        .unwrap_or(0);
+    let content_length = content_length(&headers)?;
     if content_length > MAX_BODY {
         return Err(bad("body too large"));
     }
@@ -244,12 +240,7 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<ResponseParts> {
             .ok_or_else(|| bad("malformed header"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
-        .transpose()?
-        .unwrap_or(0);
+    let content_length = content_length(&headers)?;
     if content_length > MAX_BODY {
         return Err(bad("body too large"));
     }
@@ -284,6 +275,25 @@ fn read_line(r: &mut impl BufRead, eof_ok: bool) -> io::Result<Option<String>> {
             return Err(bad("line too long"));
         }
     }
+}
+
+/// The message's body length. More than one `Content-Length` header is an
+/// outright rejection (even when the values agree): if this parser and an
+/// intermediary ever disagreed on which copy frames the body, a keep-alive
+/// connection would desync into request smuggling. A comma-joined list
+/// (`5, 5`) fails the integer parse for the same reason.
+fn content_length(headers: &[(String, String)]) -> io::Result<usize> {
+    let mut lengths = headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v);
+    let Some(first) = lengths.next() else {
+        return Ok(0);
+    };
+    if lengths.next().is_some() {
+        return Err(bad("duplicate content-length"));
+    }
+    first.parse::<usize>().map_err(|_| bad("bad content-length"))
 }
 
 fn bad(what: &str) -> io::Error {
@@ -341,6 +351,26 @@ mod tests {
         let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
         assert!(parse(long.as_bytes()).is_err());
         assert!(parse(b"GET /a%zz HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Conflicting copies: classic request-smuggling shape.
+        assert!(parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 0\r\n\r\nhello"
+        )
+        .is_err());
+        // Even agreeing copies are rejected — no intermediary disagreement
+        // about which one frames the body is ever possible.
+        assert!(parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello"
+        )
+        .is_err());
+        // Comma-joined list fails the integer parse.
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello").is_err());
+        // The client-side response parser applies the same rule.
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nok";
+        assert!(read_response(&mut BufReader::new(&raw[..])).is_err());
     }
 
     #[test]

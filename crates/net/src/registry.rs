@@ -17,8 +17,12 @@
 //! Decoded checkpoint entries are cached per slot and LRU-evicted once
 //! their total size passes the byte budget. An evicted slot keeps its
 //! checkpoint *path*, so a later query for it (an old in-flight key, or a
-//! cold tenant waking up) transparently reloads from disk — eviction
-//! degrades latency, never correctness.
+//! cold tenant waking up) transparently reloads from disk — registry
+//! eviction degrades latency, never correctness: weights are immutable, so
+//! a reload is bit-identical. The *engine's* resident-model cap is the
+//! other eviction layer; it parks the victim's hidden chain and resumes it
+//! on reload (see the engine docs for the exact chain semantics while a
+//! model is out of residence).
 //!
 //! ## The engine side
 //!

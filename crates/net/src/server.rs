@@ -42,7 +42,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use stgraph_dyngraph::source::UpdateBatch;
-use stgraph_serve::{RequestQueue, ServeError};
+use stgraph_serve::{ModelKey, RequestQueue, ServeError};
 use stgraph_telemetry::{counter, counter_labeled, histogram_labeled};
 
 /// Network-tier knobs.
@@ -182,22 +182,71 @@ impl From<ServeError> for NetError {
     }
 }
 
-/// Admission → resolve → submit → wait → encode: the one inference path
-/// both protocols call. Returns the shared payload bytes on success.
+/// Longest tenant name the dispatch path accepts. Anything longer is
+/// rejected before it can touch a map or a metric label — a query string
+/// or wire frame can carry kilobytes, and every byte of an accepted name
+/// is stored at least twice (admission table, metric label).
+pub const MAX_TENANT_LEN: usize = 128;
+
+/// Metric label that absorbs every rejected-before-validation tenant, so
+/// a peer cycling made-up names grows exactly one series, not one per
+/// name. Prefixed to keep it out of the way of real tenant names.
+const UNKNOWN_TENANT_LABEL: &str = "_unknown";
+
+/// Gates the client-supplied tenant string *before* it becomes a metric
+/// label or an admission-table key: only names the registry knows get a
+/// per-tenant series or a `TenantState`, so both allocations are bounded
+/// by the operator-controlled published-tenant set, never by what a peer
+/// sends. Rejections are accounted under the one fixed
+/// [`UNKNOWN_TENANT_LABEL`] series. Returns the tenant's current slot.
+fn gate_tenant(
+    ctx: &ServeContext,
+    tenant: &str,
+    proto: &'static str,
+) -> Result<ModelKey, NetError> {
+    let err = if tenant.is_empty() || tenant.len() > MAX_TENANT_LEN {
+        NetError::BadRequest(format!(
+            "tenant name must be 1..={MAX_TENANT_LEN} bytes"
+        ))
+    } else {
+        match ctx.registry.resolve(tenant) {
+            Ok(key) => return Ok(key),
+            Err(e) => e.into(),
+        }
+    };
+    counter_labeled(
+        "net.requests",
+        &[("tenant", UNKNOWN_TENANT_LABEL), ("proto", proto)],
+    )
+    .inc();
+    let status = err.http_status().to_string();
+    counter_labeled(
+        "net.rejected",
+        &[("tenant", UNKNOWN_TENANT_LABEL), ("status", &status)],
+    )
+    .inc();
+    Err(err)
+}
+
+/// Validate tenant → admission → submit → wait → encode: the one inference
+/// path both protocols call. Returns the shared payload bytes on success.
 pub fn dispatch_infer(
     ctx: &ServeContext,
     tenant: &str,
     node: u32,
     proto: &'static str,
 ) -> Result<Vec<u8>, NetError> {
+    let key = gate_tenant(ctx, tenant, proto)?;
     counter_labeled("net.requests", &[("tenant", tenant), ("proto", proto)]).inc();
-    if node >= ctx.num_nodes {
-        return Err(NetError::BadRequest(format!(
-            "node {node} out of range (graph has {} nodes)",
-            ctx.num_nodes
-        )));
-    }
-    let outcome = admit_resolve_wait(ctx, tenant, node);
+    let outcome = (|| {
+        if node >= ctx.num_nodes {
+            return Err(NetError::BadRequest(format!(
+                "node {node} out of range (graph has {} nodes)",
+                ctx.num_nodes
+            )));
+        }
+        admit_submit_wait(ctx, tenant, key, node)
+    })();
     match &outcome {
         Ok(_) => counter_labeled("net.answered", &[("tenant", tenant)]).inc(),
         Err(e) => {
@@ -208,12 +257,16 @@ pub fn dispatch_infer(
     outcome
 }
 
-fn admit_resolve_wait(ctx: &ServeContext, tenant: &str, node: u32) -> Result<Vec<u8>, NetError> {
+fn admit_submit_wait(
+    ctx: &ServeContext,
+    tenant: &str,
+    key: ModelKey,
+    node: u32,
+) -> Result<Vec<u8>, NetError> {
     let start = Instant::now();
     // The guard lives across the engine round-trip: the concurrency cap
     // covers queue wait, not just the submit call.
     let _guard = ctx.admission.admit(tenant)?;
-    let key = ctx.registry.resolve(tenant)?;
     let resp = ctx.queue.submit_for(key, node)?.wait()?;
     histogram_labeled("net.latency_ns", &[("tenant", tenant)])
         .record(start.elapsed().as_nanos() as u64);
@@ -224,8 +277,9 @@ fn admit_resolve_wait(ctx: &ServeContext, tenant: &str, node: u32) -> Result<Vec
     ))
 }
 
-/// Admission → advance: the shared ingest path. Updates are the stream's
-/// ground truth, so past admission they block rather than shed.
+/// Validate tenant → admission → advance: the shared ingest path. Updates
+/// are the stream's ground truth, so past admission they block rather than
+/// shed.
 pub fn dispatch_ingest(
     ctx: &ServeContext,
     tenant: &str,
@@ -233,6 +287,7 @@ pub fn dispatch_ingest(
     deletions: Vec<(u32, u32)>,
     proto: &'static str,
 ) -> Result<(), NetError> {
+    gate_tenant(ctx, tenant, proto)?;
     counter_labeled("net.requests", &[("tenant", tenant), ("proto", proto)]).inc();
     for &(s, d) in additions.iter().chain(&deletions) {
         if s >= ctx.num_nodes || d >= ctx.num_nodes {

@@ -26,7 +26,13 @@
 //! the resident set is LRU-capped ([`InferenceEngine::set_max_resident_models`]).
 //! Every resident model's recurrent step is pinned per generation, so each
 //! model's hidden chain is bit-identical to a direct replay started at the
-//! generation the model was installed.
+//! generation the model was installed. Eviction under the cap *parks* the
+//! victim's hidden chain and a provider reload resumes it — served
+//! embeddings never silently reset across an evict/reload cycle — but the
+//! chain does not step for generations that pass while the model is out of
+//! residence, so a heavily evicted model's chain is the replay of the
+//! generations it was resident for. Size the cap to the expected resident
+//! tenant count when exact every-generation chains matter.
 //!
 //! ## Degradation, not death
 //!
@@ -430,6 +436,17 @@ struct ModelSlot {
     last_used: u64,
 }
 
+/// An evicted model's chain state, held aside so a provider reload under
+/// the same key resumes the chain (hidden *and* memo: restoring the memo
+/// keeps a same-generation evict/reload bit-identical — re-stepping from
+/// the parked hidden would double-apply the current generation's step).
+struct ParkedChain {
+    /// Eviction tick (oldest-parked is dropped first past the cap).
+    tick: u64,
+    hidden: Option<Tensor>,
+    memo: Option<(u64, Tensor)>,
+}
+
 /// Resolves a [`ModelKey`] into a freshly-built cell on the engine thread.
 /// This is the registry hook: cells are `!Send`, so the network tier hands
 /// the engine a closure over `Send` checkpoint data instead of a cell.
@@ -441,6 +458,11 @@ pub type ModelProvider = Box<dyn FnMut(ModelKey) -> Option<Box<dyn RecurrentCell
 /// feed the [`RequestQueue`].
 pub struct InferenceEngine {
     models: HashMap<ModelKey, ModelSlot>,
+    /// Chain state of LRU-evicted models: a provider reload *resumes* the
+    /// chain instead of restarting it at `None`, so eviction does not
+    /// silently change served embeddings. Bounded (see
+    /// [`InferenceEngine::park_and_remove`]).
+    parked: HashMap<ModelKey, ParkedChain>,
     provider: Option<ModelProvider>,
     /// Resident-model cap: loading past it LRU-evicts (never the default).
     max_models: usize,
@@ -487,6 +509,7 @@ impl InferenceEngine {
         );
         InferenceEngine {
             models,
+            parked: HashMap::new(),
             provider: None,
             max_models: 8,
             tick: 0,
@@ -516,6 +539,9 @@ impl InferenceEngine {
     /// the engine thread between batches.
     pub fn install_model(&mut self, key: ModelKey, cell: Box<dyn RecurrentCell>) {
         self.evict_to_fit(key);
+        // An explicit install is new weights: any chain parked for this key
+        // belongs to the replaced model and must not resume under it.
+        self.parked.remove(&key);
         self.tick += 1;
         self.models.insert(
             key,
@@ -538,7 +564,9 @@ impl InferenceEngine {
 
     /// Caps the resident-model set (minimum 1). Loading a model past the
     /// cap evicts the least-recently-queried resident model — never the
-    /// [`DEFAULT_MODEL`] and never the key being loaded.
+    /// [`DEFAULT_MODEL`] and never the key being loaded. The victim's
+    /// hidden chain is parked and resumes on provider reload (see the
+    /// module docs for the exact chain semantics across eviction).
     pub fn set_max_resident_models(&mut self, n: usize) {
         self.max_models = n.max(1);
     }
@@ -559,10 +587,47 @@ impl InferenceEngine {
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {
-                    self.models.remove(&k);
+                    self.park_and_remove(k);
                     stgraph_telemetry::counter("serve.model_evictions").inc();
                 }
                 None => break, // only the default left: cap cannot shrink further
+            }
+        }
+    }
+
+    /// Removes `key` from the resident set, parking its hidden chain so a
+    /// later provider reload resumes it (same weights, same key) instead of
+    /// restarting at `None` — without this, LRU eviction under tenant
+    /// pressure would silently change served embeddings. The side table is
+    /// bounded at `4 * max_models` chains; past that the oldest parked
+    /// chain is dropped and that model restarts on reload (the documented
+    /// cold-start behavior, now reserved for long-gone keys).
+    fn park_and_remove(&mut self, key: ModelKey) {
+        if let Some(slot) = self.models.remove(&key) {
+            if slot.hidden.is_some() || slot.memo.is_some() {
+                self.tick += 1;
+                self.parked.insert(
+                    key,
+                    ParkedChain {
+                        tick: self.tick,
+                        hidden: slot.hidden,
+                        memo: slot.memo,
+                    },
+                );
+            }
+        }
+        let cap = self.max_models.saturating_mul(4).max(8);
+        while self.parked.len() > cap {
+            let oldest = self
+                .parked
+                .iter()
+                .min_by_key(|(_, p)| p.tick)
+                .map(|(k, _)| *k);
+            match oldest {
+                Some(k) => {
+                    self.parked.remove(&k);
+                }
+                None => break,
             }
         }
     }
@@ -594,7 +659,17 @@ impl InferenceEngine {
                 }
             };
             stgraph_telemetry::counter("serve.model_loads").inc();
+            // Take the parked chain *before* install_model clears it: a
+            // provider reload is the same published weights under the same
+            // key, so the evicted chain resumes rather than restarts.
+            let resumed = self.parked.remove(&key);
             self.install_model(key, cell);
+            if let Some(p) = resumed {
+                let slot = self.models.get_mut(&key).expect("just installed");
+                slot.hidden = p.hidden;
+                slot.memo = p.memo;
+                stgraph_telemetry::counter("serve.model_chain_resumes").inc();
+            }
         }
         self.tick += 1;
         let tick = self.tick;
@@ -728,6 +803,15 @@ impl InferenceEngine {
     /// resident model (so each hidden chain covers every generation,
     /// queried or not), then applies the update batch (which retries
     /// injected faults with backoff inside [`LiveGraph::apply`]).
+    ///
+    /// The pinned steps run under the same panic isolation as the query
+    /// path: a model whose forward panics here is quarantined (removed from
+    /// the resident set, its chain dropped) instead of staying resident and
+    /// re-panicking on the next advance — one model's bad step never takes
+    /// down the engine thread or its neighbours' queries. A quarantined
+    /// provider-backed model reloads with a fresh chain on its next query;
+    /// a quarantined [`DEFAULT_MODEL`] with no provider fails subsequent
+    /// queries with the typed [`ServeError::UnknownModel`].
     pub fn run(&mut self, queue: &RequestQueue, config: &ServeConfig) {
         loop {
             let drained = queue.drain(config.max_batch, config.flush_interval);
@@ -737,8 +821,21 @@ impl InferenceEngine {
             if let Some(batch) = drained.advance {
                 let resident: Vec<ModelKey> = self.models.keys().copied().collect();
                 for key in resident {
-                    self.ensure_forward(key)
-                        .expect("resident models always resolve");
+                    // Resident keys never hit the provider, so the Ok(Err)
+                    // arm (unknown model) is unreachable here; only the
+                    // panic arm carries behavior.
+                    if let Err(panic) =
+                        catch_unwind(AssertUnwindSafe(|| self.ensure_forward(key)))
+                    {
+                        let _ = panic_message(&panic);
+                        self.panics += 1;
+                        stgraph_telemetry::counter("serve.forward_panics").inc();
+                        stgraph_telemetry::counter("serve.model_quarantined").inc();
+                        // Quarantine, don't park: resuming the chain would
+                        // replay the same step that just panicked.
+                        self.models.remove(&key);
+                        self.parked.remove(&key);
+                    }
                 }
                 let _sp = stgraph_telemetry::span_cat("serve.ingest", "serve");
                 self.live.apply(&batch);
@@ -1250,5 +1347,102 @@ mod tests {
         assert!(engine.models.contains_key(&DEFAULT_MODEL), "default pinned");
         assert!(engine.models.contains_key(&2), "newest resident");
         assert!(!engine.models.contains_key(&1), "LRU victim evicted");
+    }
+
+    /// LRU eviction parks the victim's hidden chain and a provider reload
+    /// resumes it: served embeddings across an evict/reload cycle are
+    /// bit-identical to never having evicted at that generation.
+    #[test]
+    fn evicted_model_resumes_hidden_chain_on_reload() {
+        let (src, x, _ps, cell) = setup();
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell), x, live, "seastar");
+        engine.set_max_resident_models(2);
+        engine.set_model_provider(Box::new(|key| {
+            (key == 42 || key == 43).then(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(key);
+                let mut ps = ParamSet::new();
+                Box::new(Tgcn::new(&mut ps, "cell", 3, 4, &mut rng)) as Box<dyn RecurrentCell>
+            })
+        }));
+        let diffs = src.diffs();
+        // Establish 42's chain across two generations: h1 = step(x, A1, h0)
+        // only comes out right if h0 survives the round trip below.
+        engine.ensure_forward(42).unwrap();
+        engine.live.apply(&diffs[0]);
+        let (g, before) = engine.ensure_forward(42).unwrap();
+        assert_eq!(g, 1);
+        // Loading 43 pushes 42 past the cap (the default is never evicted).
+        engine.ensure_forward(43).unwrap();
+        assert!(!engine.models.contains_key(&42), "42 LRU-evicted");
+        // Same-generation reload: the resumed memo answers, bit-identical —
+        // a chain restart at None would produce step(x, A1, None) instead.
+        let (g, after) = engine.ensure_forward(42).unwrap();
+        assert_eq!(g, 1);
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&before),
+            bits(&after),
+            "evict/reload must not change served embeddings"
+        );
+        // Next generation steps from the resumed hidden, not from scratch.
+        engine.live.apply(&diffs[1]);
+        let (g, resumed) = engine.ensure_forward(42).unwrap();
+        assert_eq!(g, 2);
+        assert_ne!(bits(&before), bits(&resumed), "chain advanced");
+    }
+
+    /// A model whose *pinned advance* step panics (no query involved) is
+    /// quarantined instead of staying resident: before this guard the
+    /// second advance re-ran the panicking forward outside catch_unwind,
+    /// killed the engine thread, and every later `Ticket::wait` hung.
+    #[test]
+    fn advance_path_panic_quarantines_model_and_engine_survives() {
+        let (src, x, _ps, cell) = setup();
+        let live = LiveGraph::from_source(&src);
+        let mut engine = InferenceEngine::new(Box::new(cell), x, live, "seastar");
+        let faulty_inner = {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            let mut ps = ParamSet::new();
+            Tgcn::new(&mut ps, "cell", 3, 4, &mut rng)
+        };
+        engine.install_model(
+            7,
+            Box::new(FaultyCell {
+                inner: faulty_inner,
+                panics_left: std::cell::Cell::new(u32::MAX), // always panics
+            }),
+        );
+        let queue = RequestQueue::new(16);
+        let config = ServeConfig {
+            flush_interval: Duration::from_micros(100),
+            ..ServeConfig::default()
+        };
+        let diffs = src.diffs();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                // Model 7's first-ever step is the pinned forward this
+                // advance triggers — it panics on the engine thread.
+                queue.advance(diffs[0].clone());
+                // FIFO: answered only after the advance was processed, so
+                // this wait hangs forever unless the engine survived.
+                let default_ok = queue.submit(0).unwrap().wait();
+                // A second advance must not re-panic (7 is quarantined).
+                queue.advance(diffs[1].clone());
+                let default_again = queue.submit(1).unwrap().wait();
+                // No provider: the quarantined key now fails typed.
+                let gone = queue.submit_for(7, 0).unwrap().wait();
+                queue.close();
+                (default_ok, default_again, gone)
+            });
+            engine.run(&queue, &config);
+            let (default_ok, default_again, gone) = producer.join().unwrap();
+            assert!(default_ok.is_ok(), "neighbour model keeps serving");
+            assert!(default_again.is_ok(), "and keeps serving after advance 2");
+            assert_eq!(gone.unwrap_err(), ServeError::UnknownModel(7));
+        });
+        let report = engine.report(Duration::from_millis(1));
+        assert_eq!(report.panics, 1, "one quarantine, no repeat panic");
+        assert_eq!(report.generation, 2, "both advances applied");
     }
 }

@@ -237,6 +237,11 @@ fn unknown_tenant_and_bad_requests_are_typed() {
 
     let (status, _) = http_exchange(stack.http(), "GET", "/infer?tenant=ghost&node=1", b"");
     assert_eq!(status, 404, "unpublished tenant");
+    let oversized = format!("/infer?tenant={}&node=1", "x".repeat(300));
+    let (status, _) = http_exchange(stack.http(), "GET", &oversized, b"");
+    assert_eq!(status, 400, "oversized tenant name is rejected outright");
+    let (status, _) = http_exchange(stack.http(), "POST", "/ingest?tenant=ghost", b"+ 1 2\n");
+    assert_eq!(status, 404, "ingest requires a published tenant too");
     let (status, _) = http_exchange(stack.http(), "GET", "/infer?tenant=t0&node=999", b"");
     assert_eq!(status, 400, "node out of range");
     let (status, _) = http_exchange(stack.http(), "GET", "/infer?node=1", b"");
@@ -322,6 +327,28 @@ fn metrics_endpoint_serves_parseable_prometheus_with_tenant_labels() {
     assert!(
         text.contains("stgraph_net_latency_ns_bucket{"),
         "per-tenant latency histogram exported"
+    );
+
+    // A peer cycling made-up tenant names must not mint per-name series:
+    // unvalidated names are absorbed into the one fixed `_unknown` label.
+    for i in 0..3 {
+        let (status, _) = http_exchange(
+            stack.http(),
+            "GET",
+            &format!("/infer?tenant=cardinality-probe-{i}&node=1"),
+            b"",
+        );
+        assert_eq!(status, 404);
+    }
+    let (_, body) = http_exchange(stack.http(), "GET", "/metrics", b"");
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        !text.contains("cardinality-probe-"),
+        "client-chosen names must never become metric labels"
+    );
+    assert!(
+        text.contains("tenant=\"_unknown\""),
+        "rejected names are accounted under the fixed label: {text:.300}"
     );
 
     // Every non-comment line must be `name value` or `name{labels} value`
