@@ -23,7 +23,7 @@ use stgraph::train::{
     train_epoch_node_regression, NodeRegressor,
 };
 use stgraph_datasets::{info, load_dynamic, load_static, GraphKind};
-use stgraph_dyngraph::{DtdgGraph, DtdgSource, GpmaGraph, NaiveGraph};
+use stgraph_dyngraph::{DtdgGraph, DtdgSource, GpmaGraph, NaiveGraph, ShardedGraph};
 use stgraph_graph::base::{STGraphBase, Snapshot};
 use stgraph_tensor::nn::ParamSet;
 use stgraph_tensor::optim::Adam;
@@ -35,7 +35,9 @@ Options:
   --dataset <name|code>   dataset (default HC); see `--bin table2`
   --task <auto|node|link> task (default: node for static, link for dynamic)
   --model <tgcn|gconvgru|gconvlstm|dcrnn>   temporal cell (default tgcn)
-  --storage <naive|gpma>  DTDG storage (default gpma)
+  --storage <naive|gpma|sharded>            DTDG storage (default gpma)
+  --shards <k>            shard count for --storage sharded (default: the
+                          STGRAPH_SHARDS environment variable, else 1)
   --backend <seastar|reference>             kernel backend (default seastar)
   --features <n>          feature size / lags (default 8)
   --hidden <n>            hidden width (default 32)
@@ -269,6 +271,11 @@ fn main() {
             let provider: Rc<RefCell<dyn DtdgGraph>> = match storage {
                 "naive" => Rc::new(RefCell::new(NaiveGraph::new(&src))),
                 "gpma" => Rc::new(RefCell::new(GpmaGraph::new(&src))),
+                "sharded" => {
+                    let k = get(&args, "shards", stgraph_dyngraph::shards_from_env());
+                    println!("sharded storage: {k} shards");
+                    Rc::new(RefCell::new(ShardedGraph::from_source(&src, k)))
+                }
                 other => {
                     eprintln!("unknown storage '{other}'");
                     std::process::exit(2);

@@ -13,10 +13,12 @@
 pub mod dynamic;
 pub mod io;
 pub mod static_temporal;
+pub mod synth;
 
 pub use dynamic::{load_dynamic, TemporalEdgeList};
 pub use io::{read_signal_csv, read_snap_temporal, write_snap_temporal};
 pub use static_temporal::{load_static, StaticTemporalDataset};
+pub use synth::{community_stream, EdgeStream, SynthConfig, UpdateBatch, UpdateStream};
 
 /// Whether a dataset is static-temporal or a DTDG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -84,8 +84,8 @@ impl GpmaGraph {
         });
         let start = std::time::Instant::now();
         self.gpma.relabel_edges();
-        let (csr, _in_deg) = self.gpma.csr_view();
-        let snap = Snapshot::from_csr(csr);
+        let (csr, in_deg) = self.gpma.csr_view();
+        let snap = Snapshot::from_csr_with_in_degrees(csr, in_deg);
         stgraph_telemetry::histogram("snapshot.build_ns").record_duration(start.elapsed());
         snap
     }

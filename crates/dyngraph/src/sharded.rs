@@ -1,0 +1,810 @@
+//! `ShardedGraph`: the DTDG split into K edge-cut shards, each owning a
+//! private GPMA, with a halo/ghost-vertex table for cross-shard in-edges.
+//!
+//! The single-store [`crate::GpmaGraph`] pays four passes per snapshot:
+//! relabel the PMA, materialise the gapped out-CSR, transpose it with
+//! Algorithm 3 into the dense reverse CSR the forward pass needs, and
+//! degree-sort `node_ids`. The sharded layout makes most of that work
+//! vanish by storing the graph **reverse-first**: every edge `(u, v)` lives
+//! in the shard owning `v` under the PMA key `(local(v) << 32) | u`, so a
+//! shard's sorted slot order *is* its in-neighbour adjacency. A forward
+//! pass then needs only a per-shard `row_offset` index over the PMA slots
+//! (one O(slots/K) scan, built shard-parallel) — no relabel, no transpose,
+//! no degree sort.
+//!
+//! Aggregation runs in two phases mirroring a distributed GNN step:
+//!
+//! 1. **Halo exchange** — each shard gathers the feature rows of its ghost
+//!    sources (in-edge sources owned by other shards) into pooled scratch
+//!    (`Tensor::gather_rows`). The `shard.exchange` fault site lives here
+//!    and on the update path's commit barrier.
+//! 2. **Shard-local aggregation** — shards accumulate into disjoint row
+//!    ranges of the output (ownership makes the writes race-free), reading
+//!    local sources from the input and remote ones from scratch.
+//!
+//! Per-row accumulation order is pinned to *ascending source id* — the
+//! shard PMA's slot order — and [`crate::dense_forward_sum`] walks its
+//! reverse-CSR slots in the matching order, so sharded forwards are
+//! **bitwise identical** to the dense single-store path for any K. Update batches are routed by destination owner and
+//! applied shard-parallel; `try_apply_batch` keeps the routed batch atomic
+//! across shards via exact inverse-op rollback (the `ingest.apply`
+//! contract, extended across K stores).
+
+use crate::partition::Partition;
+use crate::source::{DtdgGraph, DtdgSource, UpdateBatch};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use stgraph_faultline::FaultError;
+use stgraph_graph::base::Snapshot;
+use stgraph_pma::{Gpma, EMPTY};
+use stgraph_telemetry::{span_timed, TimeAccumulator};
+use stgraph_tensor::Tensor;
+
+/// Reads the default shard count from `STGRAPH_SHARDS` (>= 1; default 1).
+pub fn shards_from_env() -> usize {
+    std::env::var("STGRAPH_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&k| k >= 1)
+        .unwrap_or(1)
+}
+
+/// Marks a [`ShardView::srcs`] entry as an index into the ghost table
+/// rather than a global vertex id (which caps vertex ids at 2^31).
+const GHOST_BIT: u32 = 1 << 31;
+
+/// One shard's routed sub-batch: `(additions, deletions)` in local-dst,
+/// global-src coordinates.
+type ShardBatch = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Per-shard in-neighbour index, densified from the shard's PMA slots so
+/// the aggregation loop touches no `EMPTY` gaps, unpacks no keys, and
+/// resolves no ghosts (all paid once per view rebuild instead of once per
+/// forward).
+struct ShardView {
+    /// `srcs[row_offset[l]..row_offset[l+1]]` are local vertex `l`'s
+    /// in-edge sources in ascending source order: either a global vertex
+    /// id (shard-local source, read features directly) or
+    /// `GHOST_BIT | index` into the exchanged halo scratch.
+    row_offset: Vec<usize>,
+    /// Densified in-edge sources (see `row_offset`).
+    srcs: Vec<u32>,
+    /// Sorted, deduplicated global ids of remote in-edge sources.
+    ghosts: Vec<u32>,
+    /// In-edges whose source lives on another shard.
+    halo_edges: usize,
+}
+
+struct Shard {
+    /// Keys are `(local_dst << 32) | global_src`: sorted order groups each
+    /// owned vertex's in-neighbours contiguously (reverse-first storage).
+    gpma: Gpma,
+    /// Owned global vertex ids, ascending (local id = position).
+    locals: Vec<u32>,
+    /// Cached view; `None` after any structural update.
+    view: Option<ShardView>,
+}
+
+impl Shard {
+    fn build_view(&self, owner: &[u32], me: u32) -> ShardView {
+        let keys = self.gpma.pma().key_slots();
+        let nl = self.locals.len();
+        let mut row_offset = vec![0usize; nl + 1];
+        let mut srcs: Vec<u32> = Vec::with_capacity(self.gpma.num_edges());
+        let mut ghosts: Vec<u32> = Vec::new();
+        let mut halo_edges = 0usize;
+        let mut next_row = 0usize;
+        for &k in keys {
+            if k == EMPTY {
+                continue;
+            }
+            let ld = (k >> 32) as usize;
+            let src = k as u32;
+            while next_row <= ld {
+                row_offset[next_row] = srcs.len();
+                next_row += 1;
+            }
+            if owner[src as usize] == me {
+                srcs.push(src);
+            } else {
+                halo_edges += 1;
+                ghosts.push(src);
+                // Placeholder: the raw global id, flagged; remapped to a
+                // ghost-table index once the table is sorted and deduped.
+                srcs.push(GHOST_BIT | src);
+            }
+        }
+        while next_row <= nl {
+            row_offset[next_row] = srcs.len();
+            next_row += 1;
+        }
+        ghosts.sort_unstable();
+        ghosts.dedup();
+        for e in srcs.iter_mut() {
+            if *e & GHOST_BIT != 0 {
+                let gi = ghosts.binary_search(&(*e & !GHOST_BIT)).unwrap();
+                *e = GHOST_BIT | gi as u32;
+            }
+        }
+        ShardView {
+            row_offset,
+            srcs,
+            ghosts,
+            halo_edges,
+        }
+    }
+}
+
+/// Live per-shard statistics backing the telemetry gauges.
+struct ShardStats {
+    nodes: Vec<AtomicUsize>,
+    edges: Vec<AtomicUsize>,
+    halo_edges: Vec<AtomicUsize>,
+    /// Partitioner edge-cut ratio (f64 bits).
+    edge_cut_ratio: AtomicU64,
+}
+
+impl ShardStats {
+    fn new(k: usize) -> ShardStats {
+        ShardStats {
+            nodes: (0..k).map(|_| AtomicUsize::new(0)).collect(),
+            edges: (0..k).map(|_| AtomicUsize::new(0)).collect(),
+            halo_edges: (0..k).map(|_| AtomicUsize::new(0)).collect(),
+            edge_cut_ratio: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// A DTDG partitioned into K edge-cut shards (see module docs).
+pub struct ShardedGraph {
+    num_nodes: usize,
+    partition: Partition,
+    shards: Vec<Shard>,
+    /// Global vertex id -> local index within its owner shard.
+    local_id: Vec<u32>,
+    /// `updates[t-1]` transforms snapshot `t-1` into snapshot `t`.
+    updates: Vec<UpdateBatch>,
+    curr_time: usize,
+    num_timestamps: usize,
+    update_time: TimeAccumulator,
+    stats: Arc<ShardStats>,
+}
+
+impl ShardedGraph {
+    /// Partitions (LDG over snapshot 0) and loads a [`DtdgSource`].
+    pub fn from_source(source: &DtdgSource, k: usize) -> ShardedGraph {
+        let seed = &source.snapshots[0];
+        let mut partition = Partition::ldg(source.num_nodes, k, seed.iter().copied());
+        partition.refine(seed.iter().copied());
+        partition.refine(seed.iter().copied());
+        partition.measure_cut(seed.iter().copied());
+        ShardedGraph::assemble(
+            source.num_nodes,
+            partition,
+            source.snapshots[0].iter().copied(),
+            source.diffs(),
+            source.num_timestamps(),
+        )
+    }
+
+    /// Streaming build for graphs too big to materialise: one LDG pass
+    /// partitions, two label-propagation passes refine, one pass measures
+    /// the final cut, and a last pass routes and loads in bounded chunks.
+    /// The stream must be replayable (`make_stream` is called five times);
+    /// each pass holds only O(n) state.
+    pub fn from_edge_stream<I>(
+        num_nodes: usize,
+        k: usize,
+        make_stream: impl Fn() -> I,
+    ) -> ShardedGraph
+    where
+        I: Iterator<Item = (u32, u32)>,
+    {
+        let mut partition = Partition::ldg(num_nodes, k, make_stream());
+        partition.refine(make_stream());
+        partition.refine(make_stream());
+        partition.measure_cut(make_stream());
+        ShardedGraph::assemble(num_nodes, partition, make_stream(), Vec::new(), 1)
+    }
+
+    fn assemble(
+        num_nodes: usize,
+        partition: Partition,
+        edges: impl Iterator<Item = (u32, u32)>,
+        updates: Vec<UpdateBatch>,
+        num_timestamps: usize,
+    ) -> ShardedGraph {
+        assert!(
+            num_nodes < GHOST_BIT as usize,
+            "vertex ids must fit below the ghost flag bit (2^31)"
+        );
+        let k = partition.k();
+        let locals = partition.locals();
+        let mut local_id = vec![0u32; num_nodes];
+        for l in &locals {
+            for (i, &v) in l.iter().enumerate() {
+                local_id[v as usize] = i as u32;
+            }
+        }
+        let mut shards: Vec<Shard> = locals
+            .into_iter()
+            .map(|locals| Shard {
+                gpma: Gpma::new(locals.len()),
+                locals,
+                view: None,
+            })
+            .collect();
+        // Routed load in bounded chunks so the edge stream never has to be
+        // materialised in one piece.
+        const CHUNK: usize = 1 << 22;
+        let mut bufs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+        let mut pending = 0usize;
+        for (u, v) in edges {
+            let s = partition.owner(v) as usize;
+            bufs[s].push((local_id[v as usize], u));
+            pending += 1;
+            if pending >= CHUNK {
+                flush_inserts(&mut shards, &mut bufs);
+                pending = 0;
+            }
+        }
+        flush_inserts(&mut shards, &mut bufs);
+
+        let stats = Arc::new(ShardStats::new(k));
+        stats
+            .edge_cut_ratio
+            .store(partition.edge_cut_ratio().to_bits(), Ordering::Relaxed);
+        install_gauges(&stats);
+        let g = ShardedGraph {
+            num_nodes,
+            partition,
+            shards,
+            local_id,
+            updates,
+            curr_time: 0,
+            num_timestamps,
+            update_time: TimeAccumulator::new(),
+            stats,
+        };
+        g.refresh_stats();
+        g
+    }
+
+    /// Shard count.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total edges across shards.
+    pub fn num_edges(&self) -> usize {
+        self.shards.iter().map(|s| s.gpma.num_edges()).sum()
+    }
+
+    /// In-edges whose source lives on another shard (requires fresh views).
+    pub fn halo_edges(&mut self) -> usize {
+        self.ensure_views();
+        self.shards
+            .iter()
+            .map(|s| s.view.as_ref().map_or(0, |v| v.halo_edges))
+            .sum()
+    }
+
+    /// The partitioner's edge-cut ratio over the seed stream.
+    pub fn edge_cut_ratio(&self) -> f64 {
+        self.partition.edge_cut_ratio()
+    }
+
+    /// Bytes held by the shard PMAs.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.gpma.bytes()).sum()
+    }
+
+    /// Routes `(additions, deletions)` into per-shard local batches.
+    fn route(&self, additions: &[(u32, u32)], deletions: &[(u32, u32)]) -> Vec<ShardBatch> {
+        let mut out: Vec<ShardBatch> = vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for &(u, v) in additions {
+            let s = self.partition.owner(v) as usize;
+            out[s].0.push((self.local_id[v as usize], u));
+        }
+        for &(u, v) in deletions {
+            let s = self.partition.owner(v) as usize;
+            out[s].1.push((self.local_id[v as usize], u));
+        }
+        out
+    }
+
+    /// Applies a routed batch shard-parallel (infallible path).
+    pub fn apply_batch(&mut self, additions: &[(u32, u32)], deletions: &[(u32, u32)]) {
+        stgraph_telemetry::counter("shard.edges_inserted").add(additions.len() as u64);
+        stgraph_telemetry::counter("shard.edges_deleted").add(deletions.len() as u64);
+        let mut work = self.route(additions, deletions);
+        par_apply(&mut self.shards, &mut work);
+        self.refresh_stats();
+    }
+
+    /// Fault-gated batch application with cross-shard atomicity: every
+    /// edge lands or none does. Each shard's sub-batch is pre-filtered to
+    /// its effective changes (additions not yet present, deletions
+    /// actually present) so the inverse operation is exact; on any
+    /// injected fault — a shard's `gpma.update` or the `shard.exchange`
+    /// commit barrier — already-applied shards are rolled back with the
+    /// inverse ops and the graph is left bitwise-identical to its
+    /// pre-batch state.
+    pub fn try_apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), FaultError> {
+        let mut routed = self.route(&batch.additions, &batch.deletions);
+        for (s, (adds, dels)) in routed.iter_mut().enumerate() {
+            let gpma = &self.shards[s].gpma;
+            adds.retain(|&(ld, src)| !gpma.has_edge(ld, src));
+            dels.retain(|&(ld, src)| gpma.has_edge(ld, src));
+        }
+        let mut applied = 0usize;
+        let mut failure: Option<FaultError> = None;
+        for (s, (adds, dels)) in routed.iter().enumerate() {
+            let shard = &mut self.shards[s];
+            let r = shard.gpma.try_insert_edges(adds).and_then(|()| {
+                shard.gpma.try_delete_edges(dels).inspect_err(|_| {
+                    // Deletion faulted after this shard's insert landed:
+                    // undo locally before reporting up.
+                    shard.gpma.delete_edges(adds);
+                })
+            });
+            match r {
+                Ok(()) => {
+                    shard.view = None;
+                    applied = s + 1;
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if failure.is_none() {
+            // Commit barrier: ghost tables may only refresh once every
+            // shard holds its routed sub-batch. A fault here models a
+            // failed exchange and aborts the whole batch.
+            if let Err(e) = stgraph_faultline::fault_point!("shard.exchange") {
+                failure = Some(e);
+            }
+        }
+        if let Some(e) = failure {
+            for (s, (adds, dels)) in routed.iter().enumerate().take(applied) {
+                let shard = &mut self.shards[s];
+                shard.gpma.delete_edges(adds);
+                shard.gpma.insert_edges(dels);
+                shard.view = None;
+            }
+            stgraph_telemetry::counter("shard.rollbacks").inc();
+            stgraph_faultline::note_rollback();
+            self.refresh_stats();
+            return Err(e);
+        }
+        self.refresh_stats();
+        Ok(())
+    }
+
+    fn ensure_views(&mut self) {
+        let owner = self.partition.owners();
+        let mut dirty: Vec<(u32, &mut Shard)> = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, s)| s.view.is_none())
+            .map(|(i, s)| (i as u32, s))
+            .collect();
+        if dirty.is_empty() {
+            return;
+        }
+        dirty.par_chunks_mut(1).for_each(|it| {
+            let (me, shard) = &mut it[0];
+            shard.view = Some(shard.build_view(owner, *me));
+        });
+        for (s, shard) in self.shards.iter().enumerate() {
+            if let Some(v) = &shard.view {
+                self.stats.halo_edges[s].store(v.halo_edges, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn refresh_stats(&self) {
+        for (s, shard) in self.shards.iter().enumerate() {
+            self.stats.nodes[s].store(shard.locals.len(), Ordering::Relaxed);
+            self.stats.edges[s].store(shard.gpma.num_edges(), Ordering::Relaxed);
+            if let Some(v) = &shard.view {
+                self.stats.halo_edges[s].store(v.halo_edges, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Sum-aggregated forward pass (`out[v] = Σ feats[u]` over in-edges
+    /// `(u, v)`), shard-parallel with one halo-exchange phase. Bitwise
+    /// identical to [`dense_forward_sum`] over the merged snapshot.
+    pub fn forward_sum(&mut self, feats: &Tensor) -> Tensor {
+        let n = self.num_nodes;
+        let w = feats.cols();
+        assert_eq!(feats.rows(), n, "feature rows must match vertex count");
+        self.ensure_views();
+
+        // Phase 1: halo exchange. Pure in-process gathers cannot actually
+        // fail, so injected faults are retried and then waved through —
+        // degraded latency, never a lost forward (snapshot.build contract).
+        let _sp = stgraph_telemetry::span_cat("shard.forward", "shard");
+        let _ = stgraph_faultline::retry(&stgraph_faultline::RetryPolicy::default(), || {
+            stgraph_faultline::fault_point!("shard.exchange")
+        });
+        let scratch: Vec<Tensor> = self
+            .shards
+            .iter()
+            .map(|s| feats.gather_rows(&s.view.as_ref().unwrap().ghosts))
+            .collect();
+
+        // Phase 2: shard-local aggregation into disjoint output rows.
+        let mut out = vec![0f32; n * w];
+        {
+            struct SharedOut(*mut f32);
+            unsafe impl Sync for SharedOut {}
+            let shared = SharedOut(out.as_mut_ptr());
+            let shards = &self.shards;
+            let fdata = feats.data();
+            let body = |s: usize| {
+                let shared = &shared;
+                let shard = &shards[s];
+                let view = shard.view.as_ref().unwrap();
+                let gdata = scratch[s].data();
+                for (li, &v) in shard.locals.iter().enumerate() {
+                    // Ownership makes rows disjoint across shards, so the
+                    // raw-pointer writes are race-free (reverse_csr's
+                    // claimed-slot idiom).
+                    let orow =
+                        unsafe { std::slice::from_raw_parts_mut(shared.0.add(v as usize * w), w) };
+                    // Densified rows accumulate in ascending source order —
+                    // the same order [`dense_forward_sum`] uses, keeping
+                    // sums bitwise equal to the single-store path.
+                    for &e in &view.srcs[view.row_offset[li]..view.row_offset[li + 1]] {
+                        let frow = if e & GHOST_BIT == 0 {
+                            &fdata[e as usize * w..e as usize * w + w]
+                        } else {
+                            let gi = (e & !GHOST_BIT) as usize;
+                            &gdata[gi * w..gi * w + w]
+                        };
+                        for (o, &f) in orow.iter_mut().zip(frow) {
+                            *o += f;
+                        }
+                    }
+                }
+            };
+            let k = shards.len();
+            if k > 1 {
+                (0..k).into_par_iter().for_each(body);
+            } else {
+                (0..k).for_each(body);
+            }
+        }
+        Tensor::from_vec((n, w), out)
+    }
+
+    /// Merges all shards into one globally-labelled [`Snapshot`]
+    /// (bitwise-identical to `NaiveGraph` over the same edge set).
+    fn build_merged_snapshot(&mut self) -> Snapshot {
+        let _sp = stgraph_telemetry::span_cat("shard.snapshot", "snapshot");
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(self.num_edges());
+        for shard in &self.shards {
+            edges.extend(
+                shard
+                    .gpma
+                    .pma()
+                    .iter()
+                    .map(|(k, _)| (k as u32, shard.locals[(k >> 32) as usize])),
+            );
+        }
+        edges.sort_unstable();
+        Snapshot::from_edges(self.num_nodes, &edges)
+    }
+
+    /// Rolls the shard stores to timestamp `t` (routed, shard-parallel).
+    fn roll_to(&mut self, t: usize) {
+        while self.curr_time < t {
+            let next = self.curr_time + 1;
+            let u = std::mem::take(&mut self.updates[next - 1]);
+            self.apply_batch(&u.additions, &u.deletions);
+            self.updates[next - 1] = u;
+            self.curr_time = next;
+        }
+        while self.curr_time > t {
+            let cur = self.curr_time;
+            let u = std::mem::take(&mut self.updates[cur - 1]);
+            self.apply_batch(&u.deletions, &u.additions);
+            self.updates[cur - 1] = u;
+            self.curr_time = cur - 1;
+        }
+    }
+}
+
+impl DtdgGraph for ShardedGraph {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_timestamps(&self) -> usize {
+        self.num_timestamps
+    }
+
+    fn get_graph(&mut self, t: usize) -> Snapshot {
+        assert!(t < self.num_timestamps, "timestamp {t} out of range");
+        let _sp = span_timed("snapshot.forward", &self.update_time);
+        self.roll_to(t);
+        self.build_merged_snapshot()
+    }
+
+    fn get_backward_graph(&mut self, t: usize) -> Snapshot {
+        let _sp = span_timed("snapshot.backward", &self.update_time);
+        assert!(
+            t <= self.curr_time,
+            "Get-Backward-Graph must move backward (at {}, asked {t})",
+            self.curr_time
+        );
+        self.roll_to(t);
+        self.build_merged_snapshot()
+    }
+
+    fn take_update_time(&mut self) -> Duration {
+        self.update_time.take()
+    }
+}
+
+/// Applies per-shard `(additions, deletions)` buffers shard-parallel and
+/// clears them.
+fn par_apply(shards: &mut [Shard], work: &mut [ShardBatch]) {
+    let mut items: Vec<(&mut Shard, &mut ShardBatch)> =
+        shards.iter_mut().zip(work.iter_mut()).collect();
+    items.par_chunks_mut(1).for_each(|it| {
+        let (shard, (adds, dels)) = &mut it[0];
+        if !adds.is_empty() {
+            shard.gpma.insert_edges(adds);
+            shard.view = None;
+        }
+        if !dels.is_empty() {
+            shard.gpma.delete_edges(dels);
+            shard.view = None;
+        }
+        adds.clear();
+        dels.clear();
+    });
+}
+
+fn flush_inserts(shards: &mut [Shard], bufs: &mut [Vec<(u32, u32)>]) {
+    let mut work: Vec<ShardBatch> = bufs
+        .iter_mut()
+        .map(|b| (std::mem::take(b), Vec::new()))
+        .collect();
+    par_apply(shards, &mut work);
+}
+
+fn install_gauges(stats: &Arc<ShardStats>) {
+    let s = Arc::clone(stats);
+    stgraph_telemetry::register_labeled_gauge_provider("shard.stats", move || {
+        let mut out = Vec::new();
+        for i in 0..s.nodes.len() {
+            let label = format!("shard=\"{i}\"");
+            out.push((
+                "shard.nodes".to_string(),
+                label.clone(),
+                s.nodes[i].load(Ordering::Relaxed) as f64,
+            ));
+            out.push((
+                "shard.edges".to_string(),
+                label.clone(),
+                s.edges[i].load(Ordering::Relaxed) as f64,
+            ));
+            out.push((
+                "shard.halo_edges".to_string(),
+                label,
+                s.halo_edges[i].load(Ordering::Relaxed) as f64,
+            ));
+        }
+        out
+    });
+    let s = Arc::clone(stats);
+    stgraph_telemetry::register_gauge("shard.edge_cut_ratio", move || {
+        f64::from_bits(s.edge_cut_ratio.load(Ordering::Relaxed))
+    });
+}
+
+/// Dense single-store oracle / baseline: `out[v] = Σ feats[u]` over the
+/// snapshot's reverse CSR, accumulating each row in **ascending source
+/// order** (reverse slot order — the sequential Algorithm-3 transpose
+/// fills each row's slots with descending sources). This is the
+/// accumulation order the sharded views use natively, so
+/// [`ShardedGraph::forward_sum`] must match this bitwise for every K.
+pub fn dense_forward_sum(snap: &Snapshot, feats: &Tensor) -> Tensor {
+    let rcsr = &snap.reverse_csr;
+    let n = rcsr.num_nodes();
+    let w = feats.cols();
+    assert_eq!(feats.rows(), n, "feature rows must match vertex count");
+    let f = feats.data();
+    let mut out = vec![0f32; n * w];
+    for v in 0..n {
+        let orow = &mut out[v * w..(v + 1) * w];
+        for slot in (rcsr.row_offset[v]..rcsr.row_offset[v + 1]).rev() {
+            let src = rcsr.col_indices[slot];
+            if src == stgraph_graph::csr::SPACE {
+                continue;
+            }
+            let frow = &f[src as usize * w..src as usize * w + w];
+            for (o, &x) in orow.iter_mut().zip(frow) {
+                *o += x;
+            }
+        }
+    }
+    Tensor::from_vec((n, w), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveGraph;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeSet;
+    use stgraph_graph::csr::Csr;
+
+    fn csr_identical(a: &Csr, b: &Csr) -> bool {
+        a.row_offset == b.row_offset
+            && a.col_indices == b.col_indices
+            && a.eids == b.eids
+            && a.node_ids == b.node_ids
+    }
+
+    fn snapshot_identical(a: &Snapshot, b: &Snapshot) -> bool {
+        csr_identical(&a.csr, &b.csr)
+            && csr_identical(&a.reverse_csr, &b.reverse_csr)
+            && a.in_degrees == b.in_degrees
+            && a.out_degrees == b.out_degrees
+    }
+
+    fn random_source(seed: u64, n: u32, t: usize) -> DtdgSource {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut snaps = Vec::new();
+        let mut cur: BTreeSet<(u32, u32)> = (0..260)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        snaps.push(cur.iter().copied().collect::<Vec<_>>());
+        for _ in 1..t {
+            let removals: Vec<(u32, u32)> =
+                cur.iter().copied().filter(|_| rng.gen_bool(0.15)).collect();
+            for r in &removals {
+                cur.remove(r);
+            }
+            for _ in 0..removals.len() {
+                cur.insert((rng.gen_range(0..n), rng.gen_range(0..n)));
+            }
+            snaps.push(cur.iter().copied().collect());
+        }
+        DtdgSource::from_snapshot_edges(n as usize, snaps)
+    }
+
+    #[test]
+    fn snapshots_bitwise_match_naive_for_all_k() {
+        let src = random_source(21, 80, 5);
+        let mut naive = NaiveGraph::new(&src);
+        for k in [1, 2, 3, 4] {
+            let mut sharded = ShardedGraph::from_source(&src, k);
+            for t in 0..src.num_timestamps() {
+                let a = sharded.get_graph(t);
+                let b = naive.get_graph(t);
+                assert!(snapshot_identical(&a, &b), "k={k} t={t} diverged");
+            }
+            // LIFO rewind must retrace bitwise too.
+            for t in (0..src.num_timestamps()).rev() {
+                let a = sharded.get_backward_graph(t);
+                let b = naive.get_graph(t);
+                assert!(snapshot_identical(&a, &b), "k={k} backward t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_sum_bitwise_matches_dense_oracle() {
+        let src = random_source(33, 64, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let feats = Tensor::rand_uniform((64, 7), -1.0, 1.0, &mut rng);
+        let mut naive = NaiveGraph::new(&src);
+        for k in [1, 2, 3, 4] {
+            let mut sharded = ShardedGraph::from_source(&src, k);
+            for t in 0..src.num_timestamps() {
+                let want = dense_forward_sum(&naive.get_graph(t), &feats);
+                sharded.roll_to(t);
+                let got = sharded.forward_sum(&feats);
+                assert_eq!(
+                    got.data(),
+                    want.data(),
+                    "k={k} t={t} forward not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn halo_accounting_matches_partition_cut() {
+        let src = random_source(44, 100, 1);
+        let mut sharded = ShardedGraph::from_source(&src, 4);
+        let halo = sharded.halo_edges();
+        // Every cross-shard edge is a halo edge in exactly one shard; the
+        // graph's own (refined) partition counters are the reference.
+        let ratio = sharded.edge_cut_ratio();
+        assert_eq!(
+            halo,
+            (ratio * src.snapshots[0].len() as f64).round() as usize
+        );
+        assert_eq!(sharded.num_edges(), src.snapshots[0].len());
+    }
+
+    #[test]
+    fn try_apply_rolls_back_on_exchange_fault() {
+        let _g = stgraph_faultline::test_lock();
+        stgraph_faultline::clear_plan();
+        let src = random_source(55, 60, 2);
+        let batch = src.diffs().remove(0);
+        let mut sharded = ShardedGraph::from_source(&src, 3);
+        let before = sharded.get_graph(0);
+
+        stgraph_faultline::set_plan(
+            stgraph_faultline::FaultPlan::new().fail_nth("shard.exchange", 1),
+        );
+        assert!(sharded.try_apply_batch(&batch).is_err());
+        stgraph_faultline::clear_plan();
+        let after_fault = sharded.build_merged_snapshot();
+        assert!(
+            snapshot_identical(&before, &after_fault),
+            "faulted batch must leave the graph untouched"
+        );
+
+        // Retry cleanly: must land the full batch.
+        sharded.try_apply_batch(&batch).unwrap();
+        let want = NaiveGraph::new(&src).get_graph(1);
+        let got = sharded.build_merged_snapshot();
+        assert!(snapshot_identical(&got, &want));
+    }
+
+    #[test]
+    fn try_apply_rolls_back_on_mid_batch_gpma_fault() {
+        let _g = stgraph_faultline::test_lock();
+        stgraph_faultline::clear_plan();
+        let src = random_source(66, 60, 2);
+        let batch = src.diffs().remove(0);
+        let mut sharded = ShardedGraph::from_source(&src, 4);
+        let before = sharded.get_graph(0);
+
+        // Fail the third gpma.update hit: some shards have applied, one
+        // dies mid-routed-batch.
+        stgraph_faultline::set_plan(stgraph_faultline::FaultPlan::new().fail_nth("gpma.update", 3));
+        assert!(sharded.try_apply_batch(&batch).is_err());
+        stgraph_faultline::clear_plan();
+        let after_fault = sharded.build_merged_snapshot();
+        assert!(snapshot_identical(&before, &after_fault));
+        for s in &sharded.shards {
+            s.gpma.pma().check_invariants();
+        }
+    }
+
+    #[test]
+    fn streaming_build_matches_source_build() {
+        let src = random_source(77, 90, 1);
+        let edges = src.snapshots[0].clone();
+        let mut a = ShardedGraph::from_source(&src, 4);
+        let mut b = ShardedGraph::from_edge_stream(90, 4, || edges.iter().copied());
+        let sa = a.get_graph(0);
+        let sb = b.get_graph(0);
+        assert!(snapshot_identical(&sa, &sb));
+    }
+
+    #[test]
+    fn shards_from_env_defaults_to_one() {
+        // (Does not set the variable: just checks the unset default.)
+        if std::env::var("STGRAPH_SHARDS").is_err() {
+            assert_eq!(shards_from_env(), 1);
+        }
+    }
+}

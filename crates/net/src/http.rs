@@ -293,7 +293,9 @@ fn content_length(headers: &[(String, String)]) -> io::Result<usize> {
     if lengths.next().is_some() {
         return Err(bad("duplicate content-length"));
     }
-    first.parse::<usize>().map_err(|_| bad("bad content-length"))
+    first
+        .parse::<usize>()
+        .map_err(|_| bad("bad content-length"))
 }
 
 fn bad(what: &str) -> io::Error {
@@ -356,16 +358,16 @@ mod tests {
     #[test]
     fn rejects_duplicate_content_length() {
         // Conflicting copies: classic request-smuggling shape.
-        assert!(parse(
-            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 0\r\n\r\nhello"
-        )
-        .is_err());
+        assert!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 0\r\n\r\nhello")
+                .is_err()
+        );
         // Even agreeing copies are rejected — no intermediary disagreement
         // about which one frames the body is ever possible.
-        assert!(parse(
-            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello"
-        )
-        .is_err());
+        assert!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+                .is_err()
+        );
         // Comma-joined list fails the integer parse.
         assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello").is_err());
         // The client-side response parser applies the same rule.

@@ -205,9 +205,7 @@ fn gate_tenant(
     proto: &'static str,
 ) -> Result<ModelKey, NetError> {
     let err = if tenant.is_empty() || tenant.len() > MAX_TENANT_LEN {
-        NetError::BadRequest(format!(
-            "tenant name must be 1..={MAX_TENANT_LEN} bytes"
-        ))
+        NetError::BadRequest(format!("tenant name must be 1..={MAX_TENANT_LEN} bytes"))
     } else {
         match ctx.registry.resolve(tenant) {
             Ok(key) => return Ok(key),

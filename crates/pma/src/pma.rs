@@ -41,6 +41,12 @@ pub struct Pma {
     vals: Vec<u32>,
     seg_len: usize,
     n_elems: usize,
+    /// Valid-slot count per segment. Window density checks sum this index
+    /// instead of scanning raw slots, turning the per-level `count_valid`
+    /// in batch updates from O(window) into O(window / seg_len) — the
+    /// difference between rescanning half a multi-GB array per batch and
+    /// touching a few MB of counters at 10M-node graph scale.
+    seg_counts: Vec<u32>,
     charge: BytesCharge,
 }
 
@@ -63,11 +69,13 @@ impl Pma {
     /// An empty PMA at minimum capacity.
     pub fn new() -> Pma {
         let cap = MIN_CAPACITY;
+        let seg_len = seg_len_for(cap);
         Pma {
             keys: vec![EMPTY; cap],
             vals: vec![0; cap],
-            seg_len: seg_len_for(cap),
+            seg_len,
             n_elems: 0,
+            seg_counts: vec![0; cap / seg_len],
             charge: BytesCharge::new(cap * (8 + 4)),
         }
     }
@@ -170,7 +178,18 @@ impl Pma {
     }
 
     fn count_valid(&self, lo: usize, hi: usize) -> usize {
-        self.keys[lo..hi].iter().filter(|&&k| k != EMPTY).count()
+        // Window bounds from the density recursion are always
+        // segment-aligned, so the per-segment index answers exactly;
+        // unaligned callers fall back to a raw scan.
+        let seg = self.seg_len;
+        if lo.is_multiple_of(seg) && hi.is_multiple_of(seg) {
+            self.seg_counts[lo / seg..hi / seg]
+                .iter()
+                .map(|&c| c as usize)
+                .sum()
+        } else {
+            self.keys[lo..hi].iter().filter(|&&k| k != EMPTY).count()
+        }
     }
 
     /// First valid slot index with key >= `key`, scanning segment summaries.
@@ -182,11 +201,19 @@ impl Pma {
         // Standard binary search treating EMPTY runs as "look left first".
         while lo < hi {
             let mid = (lo + hi) / 2;
-            // Find nearest valid slot at or after mid (bounded scan).
+            // Find nearest valid slot at or after mid; whole-empty segments
+            // are skipped via the occupancy index so sparse regions cost
+            // O(1) per segment instead of O(seg_len).
             let mut probe = mid;
             while probe < hi && self.keys[probe] == EMPTY {
-                probe += 1;
+                let s = probe / self.seg_len;
+                if self.seg_counts[s] == 0 {
+                    probe = (s + 1) * self.seg_len;
+                } else {
+                    probe += 1;
+                }
             }
+            let probe = probe.min(hi);
             if probe == hi || self.keys[probe] >= key {
                 hi = mid;
             } else {
@@ -195,11 +222,17 @@ impl Pma {
         }
         // lo is the first position such that every valid slot >= lo has
         // key >= `key`; advance to the first valid slot.
+        let cap = self.capacity();
         let mut i = lo;
-        while i < self.capacity() && self.keys[i] == EMPTY {
-            i += 1;
+        while i < cap && self.keys[i] == EMPTY {
+            let s = i / self.seg_len;
+            if self.seg_counts[s] == 0 {
+                i = (s + 1) * self.seg_len;
+            } else {
+                i += 1;
+            }
         }
-        (i < self.capacity()).then_some(i)
+        (i < cap).then_some(i)
     }
 
     // ---------- batch insert ----------
@@ -337,7 +370,12 @@ impl Pma {
         });
         rebalances.inc();
         rebalance_slots.record(slots as u64);
+        debug_assert!(
+            lo.is_multiple_of(self.seg_len) && hi.is_multiple_of(self.seg_len),
+            "write_spread window must be segment-aligned"
+        );
         self.keys[lo..hi].fill(EMPTY);
+        self.seg_counts[lo / self.seg_len..hi / self.seg_len].fill(0);
         if items.is_empty() {
             return;
         }
@@ -347,6 +385,7 @@ impl Pma {
             debug_assert_eq!(self.keys[pos], EMPTY);
             self.keys[pos] = k;
             self.vals[pos] = v;
+            self.seg_counts[pos / self.seg_len] += 1;
         }
     }
 
@@ -354,6 +393,7 @@ impl Pma {
         self.keys = vec![EMPTY; cap];
         self.vals = vec![0; cap];
         self.seg_len = seg_len_for(cap);
+        self.seg_counts = vec![0; cap / self.seg_len];
         self.charge.resize(cap * (8 + 4));
     }
 
@@ -379,6 +419,7 @@ impl Pma {
         for &k in keys {
             if let Some(slot) = self.find_exact(k) {
                 self.keys[slot] = EMPTY;
+                self.seg_counts[slot / self.seg_len] -= 1;
                 removed += 1;
             }
         }
@@ -449,6 +490,13 @@ impl Pma {
         let valid: Vec<u64> = self.keys.iter().copied().filter(|&k| k != EMPTY).collect();
         assert_eq!(valid.len(), self.n_elems, "element count drifted");
         assert!(valid.windows(2).all(|w| w[0] < w[1]), "keys out of order");
+        assert_eq!(self.seg_counts.len(), self.capacity() / self.seg_len);
+        for (s, &c) in self.seg_counts.iter().enumerate() {
+            let lo = s * self.seg_len;
+            let hi = lo + self.seg_len;
+            let actual = self.keys[lo..hi].iter().filter(|&&k| k != EMPTY).count();
+            assert_eq!(c as usize, actual, "segment {s} occupancy index drifted");
+        }
         // Root density must respect the root bound (except tiny arrays).
         if self.capacity() > MIN_CAPACITY {
             let d = self.n_elems as f64 / self.capacity() as f64;

@@ -824,8 +824,7 @@ impl InferenceEngine {
                     // Resident keys never hit the provider, so the Ok(Err)
                     // arm (unknown model) is unreachable here; only the
                     // panic arm carries behavior.
-                    if let Err(panic) =
-                        catch_unwind(AssertUnwindSafe(|| self.ensure_forward(key)))
+                    if let Err(panic) = catch_unwind(AssertUnwindSafe(|| self.ensure_forward(key)))
                     {
                         let _ = panic_message(&panic);
                         self.panics += 1;

@@ -164,6 +164,13 @@ pub fn prometheus_text() -> String {
         }
         let _ = writeln!(out, "{base} {}", prom_f64(v));
     }
+    for (name, labels, v) in metrics::labeled_gauge_values() {
+        let base = prom_name(&name);
+        if typed.insert(base.clone()) {
+            let _ = writeln!(out, "# TYPE {base} gauge");
+        }
+        let _ = writeln!(out, "{base}{{{labels}}} {}", prom_f64(v));
+    }
     let mut hist_typed = std::collections::HashSet::new();
     for (name, h) in metrics::histogram_values() {
         write_histogram(&mut out, &mut hist_typed, &name, "", h);
@@ -274,6 +281,25 @@ mod tests {
         );
         assert_eq!(
             text.matches("# TYPE stgraph_test_export_tenant_lat histogram")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn prometheus_text_exposes_labeled_gauge_provider() {
+        let _g = crate::test_guard();
+        crate::metrics::register_labeled_gauge_provider("test.export.shardset", || {
+            vec![
+                ("test.export.shard_gauge".into(), "shard=\"0\"".into(), 3.0),
+                ("test.export.shard_gauge".into(), "shard=\"1\"".into(), 4.5),
+            ]
+        });
+        let text = prometheus_text();
+        assert!(text.contains("stgraph_test_export_shard_gauge{shard=\"0\"} 3"));
+        assert!(text.contains("stgraph_test_export_shard_gauge{shard=\"1\"} 4.5"));
+        assert_eq!(
+            text.matches("# TYPE stgraph_test_export_shard_gauge gauge")
                 .count(),
             1
         );

@@ -39,7 +39,7 @@ pub mod span;
 pub use hist::Histogram;
 pub use metrics::{
     counter, counter_labeled, histogram, histogram_labeled, register_gauge,
-    register_gauge_provider, Counter,
+    register_gauge_provider, register_labeled_gauge_provider, Counter,
 };
 pub use span::{span, span_cat, span_timed, SpanGuard, TimeAccumulator};
 

@@ -50,9 +50,11 @@ fn render_labels(labels: &[(&str, &str)]) -> String {
 
 type GaugeFn = Box<dyn Fn() -> f64 + Send + Sync>;
 type ProviderFn = Box<dyn Fn() -> Vec<(String, f64)> + Send + Sync>;
+type LabeledProviderFn = Box<dyn Fn() -> Vec<(String, String, f64)> + Send + Sync>;
 
 static GAUGES: OnceLock<Mutex<HashMap<String, GaugeFn>>> = OnceLock::new();
 static PROVIDERS: OnceLock<Mutex<HashMap<String, ProviderFn>>> = OnceLock::new();
+static LABELED_PROVIDERS: OnceLock<Mutex<HashMap<String, LabeledProviderFn>>> = OnceLock::new();
 
 /// A handle to an interned monotone counter. `Copy`; cache it at hot call
 /// sites to skip the name lookup.
@@ -154,6 +156,36 @@ pub fn register_gauge_provider(
         .lock()
         .unwrap()
         .insert(key.to_string(), Box::new(f));
+}
+
+/// Registers (or replaces) a *labeled* gauge provider: at export time `f`
+/// returns `(name, rendered-label-body, value)` readings, rendered by the
+/// Prometheus exporter as `stgraph_<name>{<labels>} <value>`. Used for
+/// per-instance series of dynamic cardinality — e.g. one
+/// `shard.edges{shard="3"}` reading per graph shard.
+pub fn register_labeled_gauge_provider(
+    key: &str,
+    f: impl Fn() -> Vec<(String, String, f64)> + Send + Sync + 'static,
+) {
+    LABELED_PROVIDERS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap()
+        .insert(key.to_string(), Box::new(f));
+}
+
+/// Evaluates every labeled gauge provider, returning
+/// `(name, label-body, value)` sorted by name then label set.
+pub fn labeled_gauge_values() -> Vec<(String, String, f64)> {
+    let mut out: Vec<(String, String, f64)> = Vec::new();
+    if let Some(map) = LABELED_PROVIDERS.get() {
+        let map = map.lock().unwrap();
+        for f in map.values() {
+            out.extend(f());
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    out
 }
 
 /// Snapshots every counter as `(name, value)`, sorted by name.

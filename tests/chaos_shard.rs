@@ -1,0 +1,168 @@
+//! Chaos suite for the sharded DTDG store: seeded fault plans fire inside
+//! the halo-exchange commit barrier (`shard.exchange`) and the per-shard
+//! PMA update path (`gpma.update`) while batches stream through a
+//! [`ShardedGraph`]. The invariants under chaos:
+//!
+//! 1. **No panic escapes** — every injected failure surfaces as a typed
+//!    error from `try_apply_batch`.
+//! 2. **Failed batches are bitwise invisible** — a fault mid-exchange or
+//!    mid-shard rolls every already-applied shard back with inverse
+//!    operations, so the merged snapshot is identical to the pre-batch
+//!    snapshot.
+//! 3. **Recovery is exact** — re-applying the same batch fault-free lands
+//!    the graph bitwise on `NaiveGraph`'s snapshot for that timestamp,
+//!    and the forward aggregation matches the dense oracle.
+//!
+//! Every plan is seeded, so a failure here reproduces exactly.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stgraph_dyngraph::source::DtdgSource;
+use stgraph_dyngraph::{dense_forward_sum, DtdgGraph, NaiveGraph, ShardedGraph};
+use stgraph_faultline::FaultPlan;
+use stgraph_graph::base::Snapshot;
+use stgraph_graph::csr::Csr;
+use stgraph_tensor::Tensor;
+
+fn csr_identical(a: &Csr, b: &Csr) -> bool {
+    a.row_offset == b.row_offset
+        && a.col_indices == b.col_indices
+        && a.eids == b.eids
+        && a.node_ids == b.node_ids
+}
+
+fn snapshot_identical(a: &Snapshot, b: &Snapshot) -> bool {
+    csr_identical(&a.csr, &b.csr)
+        && csr_identical(&a.reverse_csr, &b.reverse_csr)
+        && a.in_degrees == b.in_degrees
+}
+
+/// A churning DTDG: random snapshots over `n` vertices.
+fn random_source(seed: u64, n: usize, timestamps: usize) -> DtdgSource {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let snaps: Vec<Vec<(u32, u32)>> = (0..=timestamps)
+        .map(|_| {
+            let m = rng.gen_range(20..60);
+            let mut edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            edges
+        })
+        .collect();
+    DtdgSource::from_snapshot_edges(n, snaps)
+}
+
+/// The headline chaos property: a seeded fault matrix over both fault
+/// sites × shard counts × streams. Each faulted batch must be bitwise
+/// invisible; each clean re-apply must land exactly on the oracle.
+#[test]
+fn faulted_batches_are_invisible_and_recovery_is_exact() {
+    let _g = stgraph_faultline::test_lock();
+    stgraph_faultline::clear_plan();
+    for (seed, k) in [(1u64, 2usize), (2, 3), (3, 4), (4, 2), (5, 4)] {
+        let src = random_source(seed * 101, 40, 4);
+        let mut naive = NaiveGraph::new(&src);
+        let mut sharded = ShardedGraph::from_source(&src, k);
+        let feats = {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Tensor::rand_uniform((40, 3), -1.0, 1.0, &mut rng)
+        };
+        let diffs = src.diffs();
+        for (t, batch) in diffs.iter().enumerate() {
+            let before = sharded.get_graph(t);
+            // Alternate the failing site across timestamps; the plan
+            // seed varies the probabilistic site too.
+            let plan = if t % 2 == 0 {
+                FaultPlan::new()
+                    .seed(seed * 1000 + t as u64)
+                    .fail_nth("shard.exchange", 1)
+                    .fail_prob("gpma.update", 0.3)
+            } else {
+                FaultPlan::new()
+                    .seed(seed * 1000 + t as u64)
+                    .fail_nth("gpma.update", 1)
+            };
+            stgraph_faultline::set_plan(plan);
+            let res = sharded.try_apply_batch(batch);
+            stgraph_faultline::clear_plan();
+            assert!(res.is_err(), "plan must fire (seed {seed} t {t})");
+            // Invariant 2: the failed batch is bitwise invisible. The
+            // timeline is still at t, so this rebuilds the merged
+            // snapshot of the (rolled-back) current contents.
+            let after_fault = sharded.get_graph(t);
+            assert!(
+                snapshot_identical(&after_fault, &before),
+                "faulted batch visible at t={t} (seed {seed}, k={k})"
+            );
+            // Invariant 3: clean re-apply is exact.
+            let got = sharded.get_graph(t + 1);
+            let want = naive.get_graph(t + 1);
+            assert!(
+                snapshot_identical(&got, &want),
+                "recovery diverged at t={} (seed {seed}, k={k})",
+                t + 1
+            );
+            let fast = sharded.forward_sum(&feats);
+            let dense = dense_forward_sum(&want, &feats);
+            assert_eq!(
+                fast.data(),
+                dense.data(),
+                "forward diverged after recovery at t={} (seed {seed}, k={k})",
+                t + 1
+            );
+        }
+    }
+}
+
+/// Faults inside the forward pass's halo exchange are retried and waved
+/// through: a forward under an exchange fault plan still returns the
+/// bitwise-exact aggregation (degraded latency, never a wrong answer).
+#[test]
+fn forward_survives_exchange_faults_bitwise() {
+    let _g = stgraph_faultline::test_lock();
+    stgraph_faultline::clear_plan();
+    let src = random_source(77, 30, 1);
+    let mut sharded = ShardedGraph::from_source(&src, 3);
+    let mut naive = NaiveGraph::new(&src);
+    let feats = {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        Tensor::rand_uniform((30, 3), -1.0, 1.0, &mut rng)
+    };
+    let want = dense_forward_sum(&naive.get_graph(0), &feats);
+    stgraph_faultline::set_plan(FaultPlan::new().seed(9).fail_prob("shard.exchange", 0.8));
+    let got = sharded.forward_sum(&feats);
+    stgraph_faultline::clear_plan();
+    assert_eq!(got.data(), want.data(), "exchange faults must not corrupt");
+}
+
+/// Sustained chaos: every other exchange fails across a whole stream;
+/// retrying each failed batch once must reconstruct every timestamp.
+#[test]
+fn retry_loop_reaches_every_timestamp_under_periodic_faults() {
+    let _g = stgraph_faultline::test_lock();
+    stgraph_faultline::clear_plan();
+    let src = random_source(31, 50, 6);
+    let mut naive = NaiveGraph::new(&src);
+    let mut sharded = ShardedGraph::from_source(&src, 4);
+    stgraph_faultline::set_plan(FaultPlan::new().fail_every("shard.exchange", 2));
+    for (t, batch) in src.diffs().iter().enumerate() {
+        let mut attempts = 0;
+        while sharded.try_apply_batch(batch).is_err() {
+            attempts += 1;
+            assert!(attempts < 4, "batch {t} should succeed within retries");
+        }
+    }
+    stgraph_faultline::clear_plan();
+    let t_last = src.num_timestamps() - 1;
+    // The raw batches bypassed the timeline (curr_time is still 0), so
+    // ask for the current merged snapshot rather than rolling — the
+    // contents are already at the final timestamp.
+    let got = sharded.get_graph(0);
+    let want = naive.get_graph(t_last);
+    assert!(
+        snapshot_identical(&got, &want),
+        "post-chaos stream must land exactly on the oracle"
+    );
+}

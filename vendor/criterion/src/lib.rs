@@ -18,7 +18,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id from a function name and a parameter value.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -156,7 +158,10 @@ impl BenchmarkGroup<'_> {
             }
         }
         if self.criterion.test_mode {
-            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
             routine(&mut b);
             println!("{full}: ok (test mode)");
             return;
@@ -165,7 +170,10 @@ impl BenchmarkGroup<'_> {
         // Estimate per-iteration cost, doubling until measurable.
         let mut iters = 1u64;
         let per_iter = loop {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             routine(&mut b);
             if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
                 break b.elapsed.as_secs_f64() / iters as f64;
@@ -175,7 +183,10 @@ impl BenchmarkGroup<'_> {
 
         // Warm up for the configured duration.
         let warm_iters = (self.warm_up_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
-        let mut b = Bencher { iters: warm_iters.clamp(1, 1 << 24), elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: warm_iters.clamp(1, 1 << 24),
+            elapsed: Duration::ZERO,
+        };
         routine(&mut b);
 
         // Sample: split measurement_time across sample_size samples.
@@ -183,7 +194,10 @@ impl BenchmarkGroup<'_> {
         let sample_iters = ((per_sample / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1 << 24);
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
             routine(&mut b);
             samples.push(b.elapsed.as_secs_f64() / sample_iters as f64);
         }
@@ -241,7 +255,10 @@ mod tests {
 
     #[test]
     fn measures_and_reports() {
-        let mut c = Criterion { filter: None, test_mode: false };
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
         let mut group = c.benchmark_group("smoke");
         group
             .sample_size(3)
@@ -251,14 +268,21 @@ mod tests {
             b.iter(|| (0..100u64).sum::<u64>())
         });
         group.bench_with_input(BenchmarkId::new("batched", 2), &4u64, |b, &n| {
-            b.iter_batched(|| vec![1u64; n as usize], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![1u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
         });
         group.finish();
     }
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut c = Criterion { filter: Some("nope".to_string()), test_mode: false };
+        let mut c = Criterion {
+            filter: Some("nope".to_string()),
+            test_mode: false,
+        };
         let mut group = c.benchmark_group("g");
         group.bench_function(BenchmarkId::new("skipped", 0), |_b| {
             panic!("filtered benchmark must not run")

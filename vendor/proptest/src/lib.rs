@@ -21,7 +21,10 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng { s0: h | 1, s1: h.rotate_left(31) ^ 0x9e37_79b9_7f4a_7c15 }
+        TestRng {
+            s0: h | 1,
+            s1: h.rotate_left(31) ^ 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     /// Next 64 random bits.
@@ -294,19 +297,28 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(exact: usize) -> SizeRange {
-            SizeRange { lo: exact, hi: exact + 1 }
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> SizeRange {
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -318,7 +330,10 @@ pub mod collection {
 
     /// Vector of values from `element`, sized within `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -334,7 +349,9 @@ pub mod collection {
 pub mod prelude {
     //! Glob-import surface mirroring `proptest::prelude`.
     pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     pub mod prop {
         //! Mirrors the `prop` module alias from upstream's prelude.

@@ -21,7 +21,9 @@ pub fn current_num_threads() -> usize {
                 }
             }
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     })
 }
 
@@ -75,12 +77,18 @@ pub trait ParallelIterator: Sized + Send {
     /// Pairs items positionally with `other` (truncating to the shorter).
     fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
         let n = self.par_len().min(other.par_len());
-        Zip { a: self.split_at(n).0, b: other.split_at(n).0 }
+        Zip {
+            a: self.split_at(n).0,
+            b: other.split_at(n).0,
+        }
     }
 
     /// Attaches the global index to each item.
     fn enumerate(self) -> Enumerate<Self> {
-        Enumerate { inner: self, offset: 0 }
+        Enumerate {
+            inner: self,
+            offset: 0,
+        }
     }
 
     /// Consumes every item with `f`, in parallel.
@@ -154,7 +162,16 @@ where
 
     fn split_at(self, index: usize) -> (Self, Self) {
         let (l, r) = self.inner.split_at(index);
-        (Map { inner: l, f: self.f.clone() }, Map { inner: r, f: self.f })
+        (
+            Map {
+                inner: l,
+                f: self.f.clone(),
+            },
+            Map {
+                inner: r,
+                f: self.f,
+            },
+        )
     }
 
     fn into_seq(self) -> Self::SeqIter {
@@ -204,8 +221,14 @@ impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
     fn split_at(self, index: usize) -> (Self, Self) {
         let (l, r) = self.inner.split_at(index);
         (
-            Enumerate { inner: l, offset: self.offset },
-            Enumerate { inner: r, offset: self.offset + index },
+            Enumerate {
+                inner: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                inner: r,
+                offset: self.offset + index,
+            },
         )
     }
 
@@ -277,7 +300,16 @@ impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
     fn split_at(self, index: usize) -> (Self, Self) {
         let elems = (index * self.size).min(self.slice.len());
         let (l, r) = self.slice.split_at(elems);
-        (ChunksIter { slice: l, size: self.size }, ChunksIter { slice: r, size: self.size })
+        (
+            ChunksIter {
+                slice: l,
+                size: self.size,
+            },
+            ChunksIter {
+                slice: r,
+                size: self.size,
+            },
+        )
     }
 
     fn into_seq(self) -> Self::SeqIter {
@@ -303,8 +335,14 @@ impl<'a, T: Send> ParallelIterator for ChunksMutIter<'a, T> {
         let elems = (index * self.size).min(self.slice.len());
         let (l, r) = self.slice.split_at_mut(elems);
         (
-            ChunksMutIter { slice: l, size: self.size },
-            ChunksMutIter { slice: r, size: self.size },
+            ChunksMutIter {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutIter {
+                slice: r,
+                size: self.size,
+            },
         )
     }
 
@@ -435,7 +473,10 @@ pub trait ParallelSlice<T: Sync> {
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
         assert!(chunk_size > 0, "chunk_size must be positive");
-        ChunksIter { slice: self, size: chunk_size }
+        ChunksIter {
+            slice: self,
+            size: chunk_size,
+        }
     }
 }
 
@@ -448,7 +489,10 @@ pub trait ParallelSliceMut<T: Send> {
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutIter<'_, T> {
         assert!(chunk_size > 0, "chunk_size must be positive");
-        ChunksMutIter { slice: self, size: chunk_size }
+        ChunksMutIter {
+            slice: self,
+            size: chunk_size,
+        }
     }
 }
 
@@ -467,7 +511,9 @@ mod tests {
     #[test]
     fn for_each_touches_every_item() {
         let mut v = vec![0u32; 1000];
-        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u32);
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
     }
 

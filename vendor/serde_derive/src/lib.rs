@@ -108,7 +108,10 @@ fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
                     // Visibility; a `pub(crate)` group is skipped below.
                     continue;
                 }
-                fields.push(Field { name: word, flatten });
+                fields.push(Field {
+                    name: word,
+                    flatten,
+                });
                 flatten = false;
                 expecting_name = false;
             }

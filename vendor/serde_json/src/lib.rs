@@ -245,19 +245,31 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: us
         Value::F64(x) => write_f64(out, *x),
         Value::Str(s) => write_string(out, s),
         Value::Arr(items) => {
-            write_seq(out, items.iter(), indent, depth, ('[', ']'), |out, item, ind, d| {
-                write_value(out, item, ind, d)
-            });
+            write_seq(
+                out,
+                items.iter(),
+                indent,
+                depth,
+                ('[', ']'),
+                |out, item, ind, d| write_value(out, item, ind, d),
+            );
         }
         Value::Obj(entries) => {
-            write_seq(out, entries.iter(), indent, depth, ('{', '}'), |out, (k, v), ind, d| {
-                write_string(out, k);
-                out.push(':');
-                if ind.is_some() {
-                    out.push(' ');
-                }
-                write_value(out, v, ind, d);
-            });
+            write_seq(
+                out,
+                entries.iter(),
+                indent,
+                depth,
+                ('{', '}'),
+                |out, (k, v), ind, d| {
+                    write_string(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, v, ind, d);
+                },
+            );
         }
     }
 }
@@ -336,10 +348,16 @@ mod tests {
     fn pretty_prints_nested() {
         let v = Value::Obj(vec![
             ("name".to_string(), Value::Str("x".to_string())),
-            ("xs".to_string(), Value::Arr(vec![Value::U64(1), Value::F64(2.5)])),
+            (
+                "xs".to_string(),
+                Value::Arr(vec![Value::U64(1), Value::F64(2.5)]),
+            ),
         ]);
         let s = to_string_pretty(&v).unwrap();
-        assert_eq!(s, "{\n  \"name\": \"x\",\n  \"xs\": [\n    1,\n    2.5\n  ]\n}");
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"x\",\n  \"xs\": [\n    1,\n    2.5\n  ]\n}"
+        );
     }
 
     #[test]
@@ -355,7 +373,12 @@ mod tests {
             ("n".to_string(), Value::I64(-3)),
             (
                 "xs".to_string(),
-                Value::Arr(vec![Value::U64(1), Value::F64(2.5), Value::Null, Value::Bool(true)]),
+                Value::Arr(vec![
+                    Value::U64(1),
+                    Value::F64(2.5),
+                    Value::Null,
+                    Value::Bool(true),
+                ]),
             ),
         ]);
         let parsed: Value = from_str(&to_string(&v).unwrap()).unwrap();
