@@ -66,7 +66,7 @@ fn agg_gemm_program(k: usize, m: usize) -> Program {
 }
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut rng = ChaCha8Rng::seed_from_u64(stgraph_datasets::resolve_seed(None) ^ 0x6b11);
     let simd_on = simd::enabled();
     let mut rows: Vec<KernelRow> = Vec::new();
     println!(

@@ -32,7 +32,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::time::Instant;
-use stgraph_datasets::{community_stream, SynthConfig, UpdateBatch, UpdateStream};
+use stgraph_datasets::{community_stream, resolve_seed, SynthConfig, UpdateBatch, UpdateStream};
 use stgraph_dyngraph::{dense_forward_sum, ShardedGraph};
 use stgraph_graph::base::Snapshot;
 use stgraph_pma::Gpma;
@@ -49,7 +49,7 @@ Options:
   --features <n>     feature width for the forward pass (default 8)
   --communities <n>  generator communities (default 64)
   --shards <list>    comma-separated K values (default 1,2,4,8)
-  --seed <n>         stream seed (default 42)
+  --seed <n>         stream seed (default: STGRAPH_SEED, else 42)
   --json <path>      write the report there (default BENCH_shard.json)
   --help             this text";
 
@@ -244,7 +244,12 @@ fn main() {
     let delete_frac = get(&args, "delete_frac", 0.25f64);
     let features = get(&args, "features", 8usize);
     let communities = get(&args, "communities", 64usize);
-    let seed = get(&args, "seed", 42u64);
+    let seed = resolve_seed(args.get("seed").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --seed: '{v}'");
+            std::process::exit(2);
+        })
+    }));
     let json_path = args
         .get("json")
         .cloned()

@@ -22,7 +22,8 @@ use stgraph::train::{
     eval_link_prediction, link_prediction_batches, train_epoch_link_prediction,
     train_epoch_node_regression, NodeRegressor,
 };
-use stgraph_datasets::{info, load_dynamic, load_static, GraphKind};
+use stgraph_ctdg::{CtdgConfig, CtdgWorkload, Strategy};
+use stgraph_datasets::{info, load_dynamic, load_static, resolve_seed, GraphKind};
 use stgraph_dyngraph::{DtdgGraph, DtdgSource, GpmaGraph, NaiveGraph, ShardedGraph};
 use stgraph_graph::base::{STGraphBase, Snapshot};
 use stgraph_tensor::nn::ParamSet;
@@ -32,6 +33,10 @@ use stgraph_tensor::Tensor;
 const HELP: &str = "stgraph-train — train a TGNN on a Table II dataset
 
 Options:
+  --workload <dtdg|ctdg>  workload family (default dtdg). `ctdg` trains
+                          TGN-style continuous-time link prediction on the
+                          synthetic fraud-burst event stream; see the
+                          continuous-time options below
   --dataset <name|code>   dataset (default HC); see `--bin table2`
   --task <auto|node|link> task (default: node for static, link for dynamic)
   --model <tgcn|gconvgru|gconvlstm|dcrnn>   temporal cell (default tgcn)
@@ -47,7 +52,8 @@ Options:
   --pct-change <f>        DTDG snapshot churn percent (default 5)
   --scale <n>             dynamic dataset size divisor (default 64)
   --lr <f>                Adam learning rate (default 0.01)
-  --seed <n>              RNG seed (default 42)
+  --seed <n>              RNG seed (default: the STGRAPH_SEED environment
+                          variable, else 42)
   --save <path>           write trained weights as an .stgc checkpoint; a
                           path without the .stgc extension is treated as a
                           checkpoint *directory*: every epoch saves a
@@ -56,7 +62,19 @@ Options:
                           (default 3)
   --trace <path>          enable tracing and write a Chrome trace_event JSON
                           timeline there (chrome://tracing / Perfetto)
-  --help                  this text";
+  --help                  this text
+
+Continuous-time options (--workload ctdg):
+  --nodes <n>             vertices in the synthetic stream (default 2000)
+  --events <n>            events in the synthetic stream (default 40000)
+  --dim <n>               per-node memory width (default 32)
+  --neighbors <k>         temporal neighbors per query (default 10)
+  --batch-size <n>        events per batch (default 200)
+  --strategy <recent|uniform>  neighbor sampling strategy (default recent)
+  --resume                load the latest checkpoint from --save (which
+                          must be a directory) and continue after its
+                          recorded epoch; the loss trajectory matches an
+                          uninterrupted run exactly";
 
 fn parse_args() -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -70,6 +88,10 @@ fn parse_args() -> HashMap<String, String> {
             eprintln!("unexpected argument '{key}' (try --help)");
             std::process::exit(2);
         };
+        if name == "resume" {
+            out.insert(name.to_string(), "1".to_string());
+            continue;
+        }
         let Some(value) = args.next() else {
             eprintln!("missing value for --{name}");
             std::process::exit(2);
@@ -154,8 +176,100 @@ impl Saver {
     }
 }
 
+/// Trains the continuous-time workload (`--workload ctdg`).
+fn run_ctdg(args: &HashMap<String, String>, seed: u64) {
+    let cfg = CtdgConfig {
+        num_nodes: get(args, "nodes", 2000usize),
+        num_events: get(args, "events", 40_000usize),
+        dim: get(args, "dim", 32usize),
+        k: get(args, "neighbors", 10usize),
+        batch_size: get(args, "batch_size", 200usize),
+        epochs: get(args, "epochs", 5usize),
+        lr: get(args, "lr", 0.01f32),
+        strategy: get(args, "strategy", Strategy::Recent),
+        seed,
+    };
+    let resume = args.contains_key("resume");
+    let manager = match args.get("save") {
+        Some(p) if p.ends_with(".stgc") => {
+            eprintln!("--workload ctdg checkpoints are rotated; pass a directory to --save");
+            std::process::exit(2);
+        }
+        Some(p) => Some(stgraph_serve::CheckpointManager::new(
+            p,
+            "ctdg",
+            get(args, "keep_checkpoints", 3usize),
+        )),
+        None => None,
+    };
+    if resume && manager.is_none() {
+        eprintln!("--resume needs --save <dir> to load from");
+        std::process::exit(2);
+    }
+    println!(
+        "ctdg: {} nodes, {} events, dim {}, k {} ({}), batch {}, seed {seed}",
+        cfg.num_nodes,
+        cfg.num_events,
+        cfg.dim,
+        cfg.k,
+        cfg.strategy.name(),
+        cfg.batch_size
+    );
+    let mut w = CtdgWorkload::new(cfg);
+    let (tr, va, te) = {
+        let start = std::time::Instant::now();
+        let report = match &manager {
+            Some(m) => w.run_with_checkpoints(m, resume),
+            None => w.run(),
+        };
+        for e in &report.epochs {
+            println!(
+                "epoch {:>3}: BCE {:.5}, val ROC-AUC {:.4}",
+                e.epoch + 1,
+                e.loss,
+                e.val_auc
+            );
+        }
+        println!(
+            "trained {} epochs in {:.2}s — test ROC-AUC {:.4}",
+            report.epochs.len(),
+            start.elapsed().as_secs_f32(),
+            report.test_auc
+        );
+        report.split
+    };
+    println!("chronological split: {tr} train / {va} val / {te} test events");
+}
+
+fn write_trace(path: &str) {
+    match stgraph_telemetry::export::write_chrome_trace(path) {
+        Ok(()) => println!("wrote Chrome trace to {path}"),
+        Err(e) => {
+            eprintln!("failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    let seed = resolve_seed(args.get("seed").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --seed: '{v}'");
+            std::process::exit(2);
+        })
+    }));
+    let trace_path = args.get("trace").cloned();
+    if trace_path.is_some() {
+        stgraph_telemetry::set_enabled(true);
+    }
+    if args.get("workload").map(String::as_str) == Some("ctdg") {
+        run_ctdg(&args, seed);
+        if let Some(path) = &trace_path {
+            write_trace(path);
+        }
+        return;
+    }
     let dataset = args
         .get("dataset")
         .map(String::as_str)
@@ -191,14 +305,9 @@ fn main() {
     let epochs = get(&args, "epochs", 10usize);
     let seq_len = get(&args, "seq_len", 10usize);
     let lr = get(&args, "lr", 0.01f32);
-    let seed = get(&args, "seed", 42u64);
     let save_path = args.get("save").cloned();
     let keep = get(&args, "keep_checkpoints", 3usize);
     let saver = Saver::from_args(save_path.as_deref(), keep);
-    let trace_path = args.get("trace").cloned();
-    if trace_path.is_some() {
-        stgraph_telemetry::set_enabled(true);
-    }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
     println!(
@@ -308,12 +417,6 @@ fn main() {
     }
 
     if let Some(path) = &trace_path {
-        match stgraph_telemetry::export::write_chrome_trace(path) {
-            Ok(()) => println!("wrote Chrome trace to {path}"),
-            Err(e) => {
-                eprintln!("failed to write trace to {path}: {e}");
-                std::process::exit(1);
-            }
-        }
+        write_trace(path);
     }
 }

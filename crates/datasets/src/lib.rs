@@ -18,7 +18,29 @@ pub mod synth;
 pub use dynamic::{load_dynamic, TemporalEdgeList};
 pub use io::{read_signal_csv, read_snap_temporal, write_snap_temporal};
 pub use static_temporal::{load_static, StaticTemporalDataset};
-pub use synth::{community_stream, EdgeStream, SynthConfig, UpdateBatch, UpdateStream};
+pub use synth::{
+    community_stream, fraud_stream, EdgeStream, FraudConfig, FraudEvent, FraudStream, SynthConfig,
+    TimedEdge, TimedUpdateBatch, UpdateBatch, UpdateStream,
+};
+
+/// The one seeding convention every binary shares: an explicit `--seed`
+/// flag wins, else the `STGRAPH_SEED` environment variable, else 42 — so a
+/// CTDG run and a DTDG run are made reproducible the same way. Malformed
+/// `STGRAPH_SEED` values are rejected loudly rather than silently ignored:
+/// a typo'd seed that falls back to the default would *look* reproducible
+/// while reproducing the wrong run.
+pub fn resolve_seed(cli: Option<u64>) -> u64 {
+    if let Some(s) = cli {
+        return s;
+    }
+    match std::env::var("STGRAPH_SEED") {
+        Ok(v) if !v.is_empty() => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid STGRAPH_SEED '{v}' (expected u64)");
+            std::process::exit(2);
+        }),
+        _ => 42,
+    }
+}
 
 /// Whether a dataset is static-temporal or a DTDG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

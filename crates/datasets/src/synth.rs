@@ -26,6 +26,19 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// One timestamped edge event — the unit both workload families consume.
+/// DTDG callers that predate timestamps strip `t` (see
+/// [`UpdateStream::next_batch`]); the CTDG stack keys everything off it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEdge {
+    /// Source vertex.
+    pub src: u32,
+    /// Destination vertex.
+    pub dst: u32,
+    /// Event timestamp; non-decreasing within a stream.
+    pub t: u64,
+}
+
 /// Configuration for [`community_stream`] / [`UpdateStream`].
 #[derive(Debug, Clone)]
 pub struct SynthConfig {
@@ -81,6 +94,10 @@ pub struct EdgeStream {
     burst_left: usize,
     /// Edges left overall.
     remaining: usize,
+    /// Monotonic event clock (one tick per edge), so the same stream can
+    /// feed timestamp-aware consumers via [`EdgeStream::next_timed`]
+    /// without perturbing the edge sequence DTDG callers replay.
+    clock: u64,
 }
 
 impl EdgeStream {
@@ -90,6 +107,18 @@ impl EdgeStream {
         let base = (c as u64 * n / k) as u32;
         let end = ((c as u64 + 1) * n / k) as u32;
         (base, end.max(base + 1))
+    }
+
+    /// Like `next`, but tags the edge with the stream's monotonic clock.
+    /// The edge sequence is bitwise identical to the untimed iterator —
+    /// timestamps are derived from event order, not extra RNG draws.
+    pub fn next_timed(&mut self) -> Option<TimedEdge> {
+        let (src, dst) = self.next()?;
+        Some(TimedEdge {
+            src,
+            dst,
+            t: self.clock,
+        })
     }
 }
 
@@ -101,6 +130,7 @@ impl Iterator for EdgeStream {
             return None;
         }
         self.remaining -= 1;
+        self.clock += 1;
         if self.burst_left == 0 {
             self.burst_comm = self.rng.gen_range(0..self.cfg.communities as u32);
             self.burst_left = self.cfg.burst.max(1);
@@ -138,11 +168,23 @@ pub fn community_stream(cfg: &SynthConfig) -> EdgeStream {
         burst_comm: 0,
         burst_left: 0,
         remaining: cfg.num_edges,
+        clock: 0,
     }
 }
 
 /// One churn batch: `(additions, deletions)`.
 pub type UpdateBatch = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// One churn batch with timestamped additions — what the CTDG stack
+/// ingests. Deletions carry no timestamp: the continuous-time event log is
+/// append-only, so deletions only make sense to the DTDG snapshot stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedUpdateBatch {
+    /// Timestamped insertions, in stream order (non-decreasing `t`).
+    pub adds: Vec<TimedEdge>,
+    /// Deletions of previously-inserted edges.
+    pub dels: Vec<(u32, u32)>,
+}
 
 /// Churn generator: insertion batches from the same distribution as the
 /// base stream, deletion batches sampled from a bounded reservoir of
@@ -171,8 +213,23 @@ impl UpdateStream {
     /// Next batch of `(additions, deletions)`; `None` when the insertion
     /// budget is exhausted. Deletions are distinct edges previously
     /// handed out as additions (never more than `delete_frac × adds`).
+    /// Timestamp-stripping wrapper over [`UpdateStream::next_timed_batch`]
+    /// for the DTDG stores, which key snapshots on batch index, not time.
     pub fn next_batch(&mut self, batch_edges: usize) -> Option<UpdateBatch> {
-        let adds: Vec<(u32, u32)> = (&mut self.gen).take(batch_edges).collect();
+        let b = self.next_timed_batch(batch_edges)?;
+        Some((b.adds.iter().map(|e| (e.src, e.dst)).collect(), b.dels))
+    }
+
+    /// Next batch with timestamped additions (the stream's monotonic event
+    /// clock); `None` when the insertion budget is exhausted.
+    pub fn next_timed_batch(&mut self, batch_edges: usize) -> Option<TimedUpdateBatch> {
+        let mut adds: Vec<TimedEdge> = Vec::with_capacity(batch_edges);
+        while adds.len() < batch_edges {
+            match self.gen.next_timed() {
+                Some(e) => adds.push(e),
+                None => break,
+            }
+        }
         if adds.is_empty() {
             return None;
         }
@@ -182,15 +239,177 @@ impl UpdateStream {
             let i = self.rng.gen_range(0..self.reservoir.len());
             dels.push(self.reservoir.swap_remove(i));
         }
-        for &e in &adds {
+        for e in &adds {
+            let pair = (e.src, e.dst);
             if self.reservoir.len() < self.reservoir_cap {
-                self.reservoir.push(e);
+                self.reservoir.push(pair);
             } else {
                 let i = self.rng.gen_range(0..self.reservoir.len());
-                self.reservoir[i] = e;
+                self.reservoir[i] = pair;
             }
         }
-        Some((adds, dels))
+        Some(TimedUpdateBatch { adds, dels })
+    }
+}
+
+/// Configuration for [`fraud_stream`]: a continuous-time interaction
+/// stream (e.g. payments) with injected fraud bursts.
+#[derive(Debug, Clone)]
+pub struct FraudConfig {
+    /// Total vertices. The top [`FraudConfig::fraud_nodes`] ids form the
+    /// fraud ring.
+    pub num_nodes: usize,
+    /// Total events the stream yields (background + burst).
+    pub num_events: usize,
+    /// Communities for the background traffic (as [`SynthConfig`]).
+    pub communities: usize,
+    /// Probability a background edge stays within its community.
+    pub intra_prob: f64,
+    /// Power-law exponent over community-local ranks.
+    pub exponent: f64,
+    /// Size of the fraud ring (node ids `num_nodes - fraud_nodes ..`).
+    pub fraud_nodes: usize,
+    /// Per-background-event probability of starting a fraud burst.
+    pub burst_start_prob: f64,
+    /// Events per fraud burst.
+    pub burst_len: usize,
+    /// Mean inter-arrival time of background events (ticks). Burst events
+    /// arrive an order of magnitude faster — that velocity is the signal.
+    pub mean_dt: u64,
+    /// RNG seed; equal configs yield bitwise-identical streams.
+    pub seed: u64,
+}
+
+impl FraudConfig {
+    /// Default shape: 32 communities, 90% intra, a 1% fraud ring, ~3% of
+    /// events inside bursts of 48, background inter-arrival mean 4 ticks.
+    pub fn new(num_nodes: usize, num_events: usize, seed: u64) -> FraudConfig {
+        FraudConfig {
+            num_nodes,
+            num_events,
+            communities: 32,
+            intra_prob: 0.9,
+            exponent: 1.8,
+            fraud_nodes: (num_nodes / 100).clamp(2, 1024),
+            burst_start_prob: 0.0007,
+            burst_len: 48,
+            mean_dt: 4,
+            seed,
+        }
+    }
+}
+
+/// One event of a [`FraudStream`]: a timestamped interaction plus its
+/// ground-truth label (true = part of an injected fraud burst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FraudEvent {
+    /// The timestamped interaction.
+    pub edge: TimedEdge,
+    /// True when the event belongs to an injected fraud burst.
+    pub fraud: bool,
+}
+
+/// Lazy seeded continuous-time event stream with injected fraud bursts —
+/// the CTDG analogue of [`community_stream`]. Background interactions are
+/// community-structured power-law edges whose clock advances by a random
+/// inter-arrival around `mean_dt`; with probability `burst_start_prob` a
+/// background event triggers a *burst*: `burst_len` rapid-fire (dt ∈
+/// {0,1}) interactions between fraud-ring members and power-law-chosen
+/// victims. O(1) state, replayable: same config ⇒ bitwise-identical
+/// stream.
+pub struct FraudStream {
+    cfg: FraudConfig,
+    rng: ChaCha8Rng,
+    clock: u64,
+    burst_left: usize,
+    /// Victim the current burst drains (bursts fan in on one target).
+    burst_victim: u32,
+    remaining: usize,
+}
+
+impl Iterator for FraudStream {
+    type Item = FraudEvent;
+
+    fn next(&mut self) -> Option<FraudEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let n = self.cfg.num_nodes as u32;
+        let ring = self.cfg.fraud_nodes as u32;
+        let ring_base = n - ring;
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.clock += self.rng.gen_range(0u64..=1);
+            let src = ring_base + self.rng.gen_range(0..ring);
+            let mut dst = if self.rng.gen_bool(0.3) {
+                ring_base + self.rng.gen_range(0..ring)
+            } else {
+                self.burst_victim
+            };
+            if dst == src {
+                dst = if src == self.burst_victim {
+                    (src + 1) % n
+                } else {
+                    self.burst_victim
+                };
+            }
+            return Some(FraudEvent {
+                edge: TimedEdge {
+                    src,
+                    dst,
+                    t: self.clock,
+                },
+                fraud: true,
+            });
+        }
+        // Background event: community power-law, normal velocity.
+        self.clock += self.rng.gen_range(1..=2 * self.cfg.mean_dt.max(1) - 1);
+        let comm = self.rng.gen_range(0..self.cfg.communities as u32);
+        let k = self.cfg.communities as u64;
+        let base = (comm as u64 * n as u64 / k) as u32;
+        let end = (((comm as u64 + 1) * n as u64 / k) as u32).max(base + 1);
+        let size = end - base;
+        let src = base + powerlaw_rank(&mut self.rng, size, self.cfg.exponent);
+        let mut dst = if self.rng.gen_bool(self.cfg.intra_prob) {
+            base + powerlaw_rank(&mut self.rng, size, self.cfg.exponent)
+        } else {
+            self.rng.gen_range(0..n)
+        };
+        if dst == src {
+            dst = (src + 1) % n;
+        }
+        if self.rng.gen_bool(self.cfg.burst_start_prob) {
+            self.burst_left = self.cfg.burst_len;
+            self.burst_victim = powerlaw_rank(&mut self.rng, n, self.cfg.exponent);
+        }
+        Some(FraudEvent {
+            edge: TimedEdge {
+                src,
+                dst,
+                t: self.clock,
+            },
+            fraud: false,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// Builds the seeded lazy fraud-burst stream for `cfg`.
+pub fn fraud_stream(cfg: &FraudConfig) -> FraudStream {
+    assert!(cfg.num_nodes >= 4, "need at least four vertices");
+    assert!(cfg.fraud_nodes >= 2 && cfg.fraud_nodes < cfg.num_nodes);
+    assert!(cfg.communities >= 1 && cfg.communities <= cfg.num_nodes);
+    FraudStream {
+        cfg: cfg.clone(),
+        rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xf4a0_d5ee),
+        clock: 0,
+        burst_left: 0,
+        burst_victim: 0,
+        remaining: cfg.num_events,
     }
 }
 
@@ -251,6 +470,100 @@ mod tests {
         let first = s.next().unwrap();
         assert!((first.0 as usize) < cfg.num_nodes);
         assert_eq!(s.size_hint().0, 49_999_999);
+    }
+
+    #[test]
+    fn timed_stream_matches_untimed_with_monotonic_clock() {
+        let cfg = small();
+        let untimed: Vec<_> = community_stream(&cfg).collect();
+        let mut s = community_stream(&cfg);
+        let mut last_t = 0u64;
+        for want in &untimed {
+            let e = s.next_timed().unwrap();
+            assert_eq!((e.src, e.dst), *want, "timestamping must not perturb edges");
+            assert!(e.t > last_t, "clock must be strictly monotonic here");
+            last_t = e.t;
+        }
+        assert!(s.next_timed().is_none());
+    }
+
+    #[test]
+    fn timed_batches_strip_to_untimed_batches() {
+        let cfg = small();
+        let mut a = UpdateStream::new(&cfg, 0.3, 1024);
+        let mut b = UpdateStream::new(&cfg, 0.3, 1024);
+        let mut last_t = 0u64;
+        loop {
+            match (a.next_batch(256), b.next_timed_batch(256)) {
+                (None, None) => break,
+                (Some((adds, dels)), Some(timed)) => {
+                    assert_eq!(
+                        adds,
+                        timed
+                            .adds
+                            .iter()
+                            .map(|e| (e.src, e.dst))
+                            .collect::<Vec<_>>()
+                    );
+                    assert_eq!(dels, timed.dels);
+                    for e in &timed.adds {
+                        assert!(e.t >= last_t);
+                        last_t = e.t;
+                    }
+                }
+                (x, y) => panic!("streams desynced: {x:?} vs {:?}", y.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn fraud_stream_is_replayable_with_bursts() {
+        let cfg = FraudConfig::new(2000, 20_000, 9);
+        let a: Vec<_> = fraud_stream(&cfg).collect();
+        let b: Vec<_> = fraud_stream(&cfg).collect();
+        assert_eq!(a, b, "same config must replay bitwise-identically");
+        assert_eq!(a.len(), 20_000);
+        let fraud = a.iter().filter(|e| e.fraud).count();
+        assert!(
+            fraud > 100 && fraud < a.len() / 2,
+            "expected a minority of fraud events, got {fraud}/20000"
+        );
+        let mut last_t = 0u64;
+        for e in &a {
+            assert!(e.edge.t >= last_t, "timestamps must be non-decreasing");
+            last_t = e.edge.t;
+            assert_ne!(e.edge.src, e.edge.dst, "no self-loops");
+            assert!((e.edge.src as usize) < cfg.num_nodes);
+            assert!((e.edge.dst as usize) < cfg.num_nodes);
+            if e.fraud {
+                let ring_base = (cfg.num_nodes - cfg.fraud_nodes) as u32;
+                assert!(e.edge.src >= ring_base, "burst src must be in the ring");
+            }
+        }
+    }
+
+    #[test]
+    fn fraud_bursts_are_fast_and_background_is_slow() {
+        let cfg = FraudConfig::new(2000, 50_000, 3);
+        let events: Vec<_> = fraud_stream(&cfg).collect();
+        let (mut fraud_dt, mut fraud_n, mut bg_dt, mut bg_n) = (0u64, 0u64, 0u64, 0u64);
+        for w in events.windows(2) {
+            let dt = w[1].edge.t - w[0].edge.t;
+            if w[1].fraud {
+                fraud_dt += dt;
+                fraud_n += 1;
+            } else {
+                bg_dt += dt;
+                bg_n += 1;
+            }
+        }
+        assert!(fraud_n > 0 && bg_n > 0);
+        let fraud_mean = fraud_dt as f64 / fraud_n as f64;
+        let bg_mean = bg_dt as f64 / bg_n as f64;
+        assert!(
+            fraud_mean * 3.0 < bg_mean,
+            "burst velocity must dominate: fraud {fraud_mean:.2} vs background {bg_mean:.2}"
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! and Adam — the paper's TGCN experiments train with PyTorch's Adam
 //! defaults, which we replicate here.
 
-use crate::nn::ParamSet;
+use crate::nn::{ParamSet, StateEntry};
+use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// Clips the global L2 norm of all gradients in `params` to `max_norm`
@@ -136,6 +137,74 @@ impl Adam {
     pub fn zero_grad(&self) {
         self.params.zero_grad();
     }
+
+    /// Snapshots the optimizer state (first/second moments and step count)
+    /// as checkpoint entries under the `adam.` prefix, so a resumed
+    /// training run continues the *exact* loss trajectory — without the
+    /// moments, the first post-resume step re-warms bias correction and
+    /// the trajectory diverges.
+    pub fn state_entries(&self) -> Vec<StateEntry> {
+        let mut out = Vec::with_capacity(2 * self.params.len() + 1);
+        out.push((
+            "adam.t".to_string(),
+            Shape::Scalar,
+            vec![f32::from_bits(self.t)],
+        ));
+        for (i, p) in self.params.iter().enumerate() {
+            let name = p.name();
+            out.push((
+                format!("adam.m.{name}"),
+                self.m[i].shape(),
+                self.m[i].to_vec(),
+            ));
+            out.push((
+                format!("adam.v.{name}"),
+                self.v[i].shape(),
+                self.v[i].to_vec(),
+            ));
+        }
+        out
+    }
+
+    /// Restores optimizer state written by [`Adam::state_entries`].
+    /// Matching is by parameter name; entries for unknown parameters are
+    /// ignored (the dict usually also carries the model weights). Missing
+    /// moment entries or shape mismatches are typed errors and leave the
+    /// optimizer untouched.
+    pub fn load_state_entries(
+        &mut self,
+        dict: &[StateEntry],
+    ) -> Result<(), crate::nn::StateDictError> {
+        use crate::nn::StateDictError;
+        let find = |key: &str| dict.iter().find(|(n, _, _)| n == key);
+        let Some((_, _, t_data)) = find("adam.t") else {
+            return Err(StateDictError::MissingParam("adam.t".into()));
+        };
+        let mut m = Vec::with_capacity(self.params.len());
+        let mut v = Vec::with_capacity(self.params.len());
+        for p in self.params.iter() {
+            let name = p.name();
+            for (which, store) in [("m", &mut m), ("v", &mut v)] {
+                let key = format!("adam.{which}.{name}");
+                let Some((_, shape, data)) = find(&key) else {
+                    return Err(StateDictError::MissingParam(key));
+                };
+                let expected = p.value().shape();
+                if *shape != expected {
+                    return Err(StateDictError::ShapeMismatch {
+                        name: key,
+                        expected,
+                        found: *shape,
+                    });
+                }
+                store.push(Tensor::from_vec(*shape, data.clone()));
+            }
+        }
+        self.t = t_data[0].to_bits();
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +307,65 @@ mod tests {
             || w.value(),
         );
         assert!(err < 1e-2, "adam residual {err}");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_trajectory_bitwise() {
+        let make = || {
+            let mut ps = ParamSet::new();
+            let w = ps.register("w", Tensor::from_vec(3, vec![0.0, 10.0, -4.0]));
+            (Adam::new(ps, 0.05), w)
+        };
+        let step = |opt: &mut Adam, w: &crate::autograd::Param| {
+            opt.zero_grad();
+            let tape = Tape::new();
+            let wv = tape.param(w);
+            let loss = wv.add_scalar(-3.0).square().sum();
+            tape.backward(&loss);
+            opt.step();
+        };
+        // Reference: 10 uninterrupted steps.
+        let (mut opt_a, w_a) = make();
+        for _ in 0..10 {
+            step(&mut opt_a, &w_a);
+        }
+        // Interrupted: 6 steps, snapshot, rebuild, restore, 4 more.
+        let (mut opt_b, w_b) = make();
+        for _ in 0..6 {
+            step(&mut opt_b, &w_b);
+        }
+        let mut dict = opt_b.state_entries();
+        dict.push(("w".into(), w_b.value().shape(), w_b.value().to_vec()));
+        let (mut opt_c, w_c) = make();
+        w_c.set_value(Tensor::from_vec(3, dict.last().unwrap().2.clone()));
+        opt_c.load_state_entries(&dict).unwrap();
+        for _ in 0..4 {
+            step(&mut opt_c, &w_c);
+        }
+        let (a, c) = (w_a.value(), w_c.value());
+        let bits_a: Vec<u32> = a.data().iter().map(|x| x.to_bits()).collect();
+        let bits_c: Vec<u32> = c.data().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits_a, bits_c, "resumed trajectory must be bitwise exact");
+    }
+
+    #[test]
+    fn adam_state_load_errors_are_typed() {
+        let mut ps = ParamSet::new();
+        ps.register("w", Tensor::zeros(2));
+        let mut opt = Adam::new(ps, 0.1);
+        assert!(matches!(
+            opt.load_state_entries(&[]),
+            Err(crate::nn::StateDictError::MissingParam(_))
+        ));
+        let bad = vec![
+            ("adam.t".to_string(), Shape::Scalar, vec![0.0]),
+            ("adam.m.w".to_string(), Shape::Vec(3), vec![0.0; 3]),
+            ("adam.v.w".to_string(), Shape::Vec(3), vec![0.0; 3]),
+        ];
+        assert!(matches!(
+            opt.load_state_entries(&bad),
+            Err(crate::nn::StateDictError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

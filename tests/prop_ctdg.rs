@@ -1,0 +1,162 @@
+//! Property-based tests for the temporal neighbor sampler: under
+//! arbitrary event streams and query sets, sampling must be
+//! deterministic under a fixed seed, must never time-travel, `recent`
+//! must return exactly the k most-recent interactions, and every
+//! sampled slot must exist in a brute-force scan of the event list.
+
+use proptest::prelude::*;
+use stgraph_ctdg::{sample, CtdgStore, SamplerConfig, Strategy as SampleStrategy, TCsr};
+use stgraph_datasets::TimedEdge;
+
+const N: u32 = 24;
+
+/// An arbitrary valid event stream: non-decreasing times, no self-loops,
+/// nodes in range.
+fn stream_strategy() -> impl Strategy<Value = Vec<TimedEdge>> {
+    prop::collection::vec((0u32..N, 0u32..N - 1, 0u64..4), 1..300).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(src, d, dt)| {
+                t += dt;
+                // Skew the raw dst past src to rule out self-loops.
+                let dst = if d >= src { d + 1 } else { d };
+                TimedEdge { src, dst, t }
+            })
+            .collect()
+    })
+}
+
+fn queries_strategy() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::vec((0u32..N, 0u64..700), 1..40)
+}
+
+fn build(events: &[TimedEdge]) -> TCsr {
+    let mut store = CtdgStore::new(N as usize);
+    for chunk in events.chunks(17) {
+        store.append_batch(chunk);
+    }
+    store.index().clone()
+}
+
+/// Brute force: all interactions of `node` strictly before `t`, as
+/// `(neighbor, time, eid)` in event order.
+fn history(events: &[TimedEdge], node: u32, t: u64) -> Vec<(u32, u64, u64)> {
+    events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| (e.src == node || e.dst == node) && e.t < t)
+        .map(|(eid, e)| {
+            let nbr = if e.src == node { e.dst } else { e.src };
+            (nbr, e.t, eid as u64)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sampler_is_deterministic_under_a_fixed_seed(
+        events in stream_strategy(),
+        queries in queries_strategy(),
+        k in 1usize..8,
+        seed in any::<u64>(),
+        uniform in any::<bool>(),
+    ) {
+        let index = build(&events);
+        let strategy = if uniform { SampleStrategy::Uniform } else { SampleStrategy::Recent };
+        let cfg = SamplerConfig { k, strategy, seed };
+        let a = sample(&index, &queries, &cfg);
+        let b = sample(&index, &queries, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_slots_never_time_travel_and_exist_in_the_log(
+        events in stream_strategy(),
+        queries in queries_strategy(),
+        k in 1usize..8,
+        seed in any::<u64>(),
+        uniform in any::<bool>(),
+    ) {
+        let index = build(&events);
+        let strategy = if uniform { SampleStrategy::Uniform } else { SampleStrategy::Recent };
+        let s = sample(&index, &queries, &SamplerConfig { k, strategy, seed });
+        for (qi, &(node, t)) in queries.iter().enumerate() {
+            let oracle = history(&events, node, t);
+            prop_assert_eq!(
+                s.counts[qi] as usize,
+                oracle.len().min(k),
+                "valid-count mismatch for query {} ({}, {})", qi, node, t
+            );
+            for slot in 0..s.counts[qi] as usize {
+                let i = qi * k + slot;
+                // No time travel: strictly before the query time.
+                prop_assert!(s.times[i] < t);
+                // Oracle membership: the exact (nbr, t, eid) triple is a
+                // real interaction of this node.
+                prop_assert!(
+                    oracle.contains(&(s.nbrs[i], s.times[i], s.eids[i])),
+                    "slot {} of query {} not in brute-force history", slot, qi
+                );
+            }
+            // Padding slots are masked out.
+            for slot in s.counts[qi] as usize..k {
+                prop_assert_eq!(s.mask.data()[qi * k + slot], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn recent_returns_exactly_the_k_most_recent(
+        events in stream_strategy(),
+        queries in queries_strategy(),
+        k in 1usize..8,
+    ) {
+        let index = build(&events);
+        let s = sample(&index, &queries, &SamplerConfig {
+            k,
+            strategy: SampleStrategy::Recent,
+            seed: 0,
+        });
+        for (qi, &(node, t)) in queries.iter().enumerate() {
+            let oracle = history(&events, node, t);
+            let take = oracle.len().min(k);
+            let want = &oracle[oracle.len() - take..];
+            let got: Vec<(u32, u64, u64)> = (0..take)
+                .map(|slot| {
+                    let i = qi * k + slot;
+                    (s.nbrs[i], s.times[i], s.eids[i])
+                })
+                .collect();
+            prop_assert_eq!(
+                &got[..], want,
+                "recent must be the true {} most-recent, oldest first", take
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_draws_k_distinct_events(
+        events in stream_strategy(),
+        queries in queries_strategy(),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let index = build(&events);
+        let s = sample(&index, &queries, &SamplerConfig {
+            k,
+            strategy: SampleStrategy::Uniform,
+            seed,
+        });
+        for (qi, _) in queries.iter().enumerate() {
+            let mut eids: Vec<u64> = (0..s.counts[qi] as usize)
+                .map(|slot| s.eids[qi * k + slot])
+                .collect();
+            let before = eids.len();
+            eids.sort_unstable();
+            eids.dedup();
+            prop_assert_eq!(eids.len(), before, "uniform slots must be distinct events");
+        }
+    }
+}
