@@ -60,6 +60,11 @@ Options:
                           rotated, sequence-numbered checkpoint there
   --keep-checkpoints <n>  retained checkpoints when --save is a directory
                           (default 3)
+  --online-steps <n>      after link training, continue learning online over
+                          the stream's update batches (one incremental step
+                          + atomic weight publish per batch, up to n steps)
+                          — the same train-while-serving loop `serve
+                          --online` runs (default 0 = off)
   --trace <path>          enable tracing and write a Chrome trace_event JSON
                           timeline there (chrome://tracing / Perfetto)
   --help                  this text
@@ -412,6 +417,19 @@ fn main() {
                 start.elapsed().as_secs_f32()
             );
             saver.finish(&trained);
+            let online_steps = get(&args, "online_steps", 0usize);
+            if online_steps > 0 {
+                run_online_continuation(
+                    &model,
+                    &src,
+                    features,
+                    hidden,
+                    seed,
+                    &trained,
+                    &feats,
+                    online_steps,
+                );
+            }
         }
         _ => unreachable!(),
     }
@@ -419,4 +437,62 @@ fn main() {
     if let Some(path) = &trace_path {
         write_trace(path);
     }
+}
+
+/// `--online-steps`: continue learning over the stream's update batches
+/// with the same train-while-serving loop `serve --online` runs — one
+/// incremental gradient step on a replay sample plus an atomic weight
+/// publish per applied batch. Demonstrates drift correction without
+/// standing up the serving stack.
+#[allow(clippy::too_many_arguments)] // a CLI leaf, not a library API
+fn run_online_continuation(
+    model: &str,
+    src: &DtdgSource,
+    features: usize,
+    hidden: usize,
+    seed: u64,
+    trained: &ParamSet,
+    feats: &Tensor,
+    max_steps: usize,
+) {
+    use stgraph_serve::online::{OnlineConfig, OnlineTrainer};
+    use stgraph_serve::LiveGraph;
+
+    let cfg = OnlineConfig {
+        seed,
+        ..OnlineConfig::default()
+    };
+    let Some(mut trainer) = OnlineTrainer::new(model, features, hidden, src.num_nodes, cfg) else {
+        eprintln!("online: unknown model '{model}'");
+        return;
+    };
+    trainer
+        .load_weights(&trained.state_dict())
+        .expect("trained weights match the online cell");
+    let mut live = LiveGraph::from_source(src);
+    for batch in src.diffs_from(0) {
+        if trainer.steps() >= max_steps as u64 {
+            break;
+        }
+        live.apply(&batch);
+        let (_, snap) = live.snapshot();
+        match trainer.on_advance(live.generation(), &batch, snap, feats) {
+            Ok(Some(p)) => println!(
+                "online step {:>3}: BCE {:.5} (weight gen {})",
+                trainer.steps(),
+                trainer.stats().last_loss,
+                p.weight_generation
+            ),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("online: halted ({e})");
+                break;
+            }
+        }
+    }
+    let s = trainer.stats();
+    println!(
+        "online: {} steps, weight generation {}, replay {} edges",
+        s.steps, s.weight_generation, s.replay_len
+    );
 }

@@ -113,6 +113,20 @@ impl DtdgSource {
         out
     }
 
+    /// The suffix of update batches starting at generation `from`
+    /// (`diffs_from(g)[0]` maps snapshot `g` to `g+1`) — the stream an
+    /// online trainer replays when resuming mid-stream without recomputing
+    /// batches it has already consumed. `from` past the end yields an
+    /// empty vector.
+    pub fn diffs_from(&self, from: usize) -> Vec<UpdateBatch> {
+        let mut diffs = self.diffs();
+        if from >= diffs.len() {
+            return Vec::new();
+        }
+        diffs.drain(..from);
+        diffs
+    }
+
     /// Average relative change `|Δ| / |snapshot|` between consecutive
     /// snapshots, as a percentage.
     pub fn mean_pct_change(&self) -> f64 {
@@ -174,6 +188,19 @@ mod tests {
         assert_eq!(d[0].deletions, vec![(0, 1)]);
         assert_eq!(d[1].additions, vec![]);
         assert_eq!(d[1].deletions, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn diffs_from_is_the_resume_suffix() {
+        let src = DtdgSource::from_snapshot_edges(
+            4,
+            vec![vec![(0, 1), (1, 2)], vec![(1, 2), (2, 3)], vec![(2, 3)]],
+        );
+        let d = src.diffs();
+        assert_eq!(src.diffs_from(0), d);
+        assert_eq!(src.diffs_from(1), d[1..].to_vec());
+        assert!(src.diffs_from(2).is_empty());
+        assert!(src.diffs_from(99).is_empty());
     }
 
     #[test]

@@ -40,6 +40,18 @@
 //! Keys: `nth` (fail exactly the n-th hit, 1-based), `every` (fail every
 //! k-th hit), `prob` (fail each hit with probability `p`, seeded),
 //! `delay_us` (sleep this long at every hit, failing or not).
+//!
+//! ## Site roster
+//!
+//! The workspace currently carries thirteen sites: `checkpoint.write`,
+//! `checkpoint.rename`, `gpma.update`, `ingest.apply`, `snapshot.build`,
+//! `pool.alloc`, `engine.dequeue`, `net.accept`, `net.read`,
+//! `shard.exchange`, `tcsr.append`, and the train-while-serving pair
+//! `online.step` (fires after the optimizer applies, forcing an exact
+//! bitwise rollback of the half-applied gradient step) and
+//! `online.publish` (fires before the atomic weight-generation swap, so
+//! readers never observe a partial publish). Every site's recovery path
+//! calls [`note_rollback`] so the `faults.rollbacks` counter audits it.
 
 #![warn(missing_docs)]
 

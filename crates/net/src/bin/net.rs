@@ -28,7 +28,9 @@ use stgraph_net::{
 };
 use stgraph_serve::engine::ServeConfig;
 use stgraph_serve::ingest::LiveGraph;
-use stgraph_serve::{save_checkpoint, EngineHost, InferenceEngine};
+use stgraph_serve::{
+    load_checkpoint, save_checkpoint, EngineHost, InferenceEngine, OnlineConfig, OnlineTrainer,
+};
 use stgraph_tensor::nn::ParamSet;
 use stgraph_tensor::{StateDict, Tensor};
 
@@ -60,10 +62,23 @@ Options:
   --deadline-ms <n>       per-query deadline (default off)
   --duration-s <n>        serve this long then exit; 0 = until POST
                           /admin/shutdown (default 0)
+  --online                attach an online trainer to tenant t0: every
+                          POST /ingest batch feeds a replay buffer and an
+                          incremental gradient step, and each published
+                          weight generation is installed behind the
+                          generation guard (queries pinned to generation g
+                          keep generation-g weights)
+  --replay-cap <n>        online replay-buffer capacity in edges (default 4096)
+  --staleness-ms <n>      online replay staleness bound on the logical
+                          stream clock (default 60000)
+  --online-batch <n>      positive edges sampled per online step (default 64)
+  --online-lr <f>         online Adam learning rate (default 1e-2)
   --help                  this text
 
 Fault injection: set STGRAPH_FAULTS (e.g. 'net.read:every=50,seed=1') to
-exercise the net.accept / net.read sites alongside the engine's own.";
+exercise the net.accept / net.read sites alongside the engine's own; with
+--online the online.step / online.publish sites fire too (a faulted step
+rolls back exactly and halts training; serving continues).";
 
 fn parse_args() -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -77,6 +92,10 @@ fn parse_args() -> HashMap<String, String> {
             eprintln!("unexpected argument '{key}' (try --help)");
             std::process::exit(2);
         };
+        if name == "online" {
+            out.insert(name.to_string(), "1".to_string());
+            continue;
+        }
         let Some(value) = args.next() else {
             eprintln!("missing value for --{name}");
             std::process::exit(2);
@@ -112,6 +131,11 @@ fn main() {
     let budget_mb = get(&args, "registry_budget_mb", 256usize);
     let max_resident = get(&args, "max_resident_models", 8usize).max(1);
     let duration_s = get(&args, "duration_s", 0u64);
+    let online = args.contains_key("online");
+    let replay_cap = get(&args, "replay_cap", 4096usize).max(1);
+    let staleness_ms = get(&args, "staleness_ms", 60_000u64);
+    let online_batch = get(&args, "online_batch", 64usize).max(1);
+    let online_lr = get(&args, "online_lr", 1e-2f32);
 
     let quota = TenantQuota {
         rate_per_s: get(&args, "quota", 500u64),
@@ -149,6 +173,7 @@ fn main() {
     });
     std::fs::create_dir_all(&models_dir).expect("create models dir");
     let registry = Arc::new(ModelRegistry::new(budget_mb << 20));
+    let mut t0_slot = None;
     for i in 0..tenants {
         let tenant = format!("t{i}");
         let init_seed = seed + 1 + i as u64;
@@ -177,6 +202,9 @@ fn main() {
             )
             .expect("publish tenant model");
         eprintln!("tenant {tenant}: slot {key} from {}", path.display());
+        if i == 0 {
+            t0_slot = Some((key, path.clone(), init_seed));
+        }
     }
 
     // Engine thread: default cell + per-tenant models resolved lazily
@@ -200,6 +228,44 @@ fn main() {
                 .ok()
                 .and_then(|m| build_resident_cell(&m))
         }));
+        if online {
+            // Tenant t0 trains on the live stream: rebuild its cell with
+            // the registry's exact draw order, pin it resident, and hand
+            // the trainer the serving ParamSet so each published weight
+            // generation is installed in place behind the generation guard.
+            let (t0_key, t0_path, t0_seed) = t0_slot.expect("tenant t0 exists");
+            let mut t0_rng = ChaCha8Rng::seed_from_u64(t0_seed);
+            let mut t0_params = ParamSet::new();
+            let t0_cell = stgraph_serve::build_cell(
+                &model_for_engine,
+                &mut t0_params,
+                features,
+                hidden,
+                &mut t0_rng,
+            )
+            .expect("t0 cell architecture");
+            let entries = load_checkpoint(&t0_path).expect("reload t0 checkpoint");
+            t0_params
+                .try_load_state_dict(&entries)
+                .expect("t0 checkpoint shape");
+            engine.install_model(t0_key, t0_cell);
+            let cfg = OnlineConfig {
+                seed: t0_seed,
+                batch_size: online_batch,
+                lr: online_lr,
+                replay_cap,
+                staleness_ms,
+                ..OnlineConfig::default()
+            };
+            let mut trainer =
+                OnlineTrainer::new(&model_for_engine, features, hidden, num_nodes, cfg)
+                    .expect("t0 online trainer");
+            trainer
+                .load_weights(&entries)
+                .expect("t0 checkpoint into trainer");
+            trainer.gauges().register();
+            engine.attach_online(trainer, t0_key, t0_params);
+        }
         engine
     });
 
@@ -241,4 +307,14 @@ fn main() {
         "served: queries={} forwards={} batches={} shed={} expired={}",
         report.queries, report.forwards, report.batches, report.shed, report.expired
     );
+    if let Some(o) = report.online {
+        println!(
+            "online: steps={} weight_gen={} replay={} last_loss={:.6}{}",
+            o.steps,
+            o.weight_generation,
+            o.replay_len,
+            o.last_loss,
+            if o.halted { " HALTED" } else { "" }
+        );
+    }
 }

@@ -19,11 +19,14 @@ use std::collections::HashMap;
 use stgraph::tgnn::RecurrentCell;
 use stgraph_datasets::{info, load_dynamic, GraphKind};
 use stgraph_dyngraph::DtdgSource;
-use stgraph_serve::engine::{InferenceEngine, RequestQueue, ServeConfig, ServeError, Ticket};
+use stgraph_serve::engine::{
+    InferenceEngine, RequestQueue, ServeConfig, ServeError, Ticket, DEFAULT_MODEL,
+};
 use stgraph_serve::ingest::LiveGraph;
+use stgraph_serve::online::{OnlineConfig, OnlineTrainer};
 use stgraph_serve::{load_into, CheckpointError, CheckpointManager, QueryResponse};
 use stgraph_tensor::nn::ParamSet;
-use stgraph_tensor::Tensor;
+use stgraph_tensor::{StateDict, Tensor};
 
 const HELP: &str = "stgraph-serve — serve a trained TGNN over a live update stream
 
@@ -53,9 +56,26 @@ Options:
   --seed <n>              RNG seed, must match training (default 42)
   --verify                check served values against a direct f32 replay:
                           bitwise by default; with --quantize, an accuracy
-                          gate (max|q-f| / max|f| < 0.05) instead
+                          gate (max|q-f| / max|f| < 0.05) instead. With
+                          --online the replay reruns the online loop from
+                          the same initial state (do not combine with
+                          STGRAPH_FAULTS at the online.* sites)
   --quantize              run inference through the i8 per-row-absmax
                           quantized matmul path (faster, approximate)
+  --online                train while serving: one incremental gradient
+                          step per ingested batch on a replay sample, with
+                          weight generations published atomically between
+                          generation boundaries
+  --replay-cap <n>        online replay buffer capacity (default 4096)
+  --staleness-ms <n>      online replay staleness bound in logical ms; one
+                          generation = 1000 logical ms (default 60000)
+  --online-batch <n>      positives per online step (default 64)
+  --online-lr <f>         online Adam learning rate (default 0.01)
+  --online-dir <dir>      rotate crash-consistent online checkpoints
+                          (weights + Adam moments + replay cursor) into
+                          this directory after every publish
+  --online-resume         resume the online loop from the newest valid
+                          checkpoint in --online-dir (fresh start if none)
   --trace <path>          enable tracing and write a Chrome trace_event JSON
                           timeline there (chrome://tracing / Perfetto)
   --metrics <path>        write a Prometheus text-exposition snapshot of all
@@ -66,8 +86,16 @@ Options:
 
 Fault injection: set STGRAPH_FAULTS (e.g. 'ingest.apply:every=7,seed=42')
 to inject deterministic faults at the checkpoint.write/rename, gpma.update,
-ingest.apply, snapshot.build, pool.alloc and engine.dequeue sites; the
-resilience report line shows recovery activity.";
+ingest.apply, snapshot.build, pool.alloc, engine.dequeue, online.step and
+online.publish sites; the resilience report line shows recovery activity.
+An online.* fault rolls the half-applied step back bitwise and halts
+training (serving continues); the process then exits with code 42 so
+supervisors restart it with --online-resume.";
+
+/// Exit code when an injected fault halts the online trainer: the run is
+/// *degraded* (serving finished on the last published weights), and a
+/// supervisor should restart with `--online-resume`.
+const EXIT_ONLINE_HALTED: i32 = 42;
 
 /// Accuracy gate for `--verify --quantize`: the largest served-vs-replay
 /// error, normalized by the largest replay magnitude, must stay below
@@ -88,8 +116,8 @@ fn parse_args() -> HashMap<String, String> {
             eprintln!("unexpected argument '{key}' (try --help)");
             std::process::exit(2);
         };
-        if name == "verify" || name == "quantize" {
-            out.insert(name.to_string(), "1".to_string());
+        if name == "verify" || name == "quantize" || name == "online" || name == "online-resume" {
+            out.insert(name.replace('-', "_"), "1".to_string());
             continue;
         }
         let Some(value) = args.next() else {
@@ -137,7 +165,7 @@ fn load_model(
     num_nodes: usize,
     seed: u64,
     keep: usize,
-) -> Result<(Box<dyn RecurrentCell>, Tensor), CheckpointError> {
+) -> Result<(Box<dyn RecurrentCell>, ParamSet, Tensor), CheckpointError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut params = ParamSet::new();
     let cell = make_cell(model, &mut params, features, hidden, &mut rng);
@@ -150,7 +178,7 @@ fn load_model(
     } else {
         load_into(path, &params)?;
     }
-    Ok((cell, feats))
+    Ok((cell, params, feats))
 }
 
 fn main() {
@@ -184,6 +212,17 @@ fn main() {
     let seed = get(&args, "seed", 42u64);
     let verify = args.contains_key("verify");
     let quantize = args.contains_key("quantize");
+    let online = args.contains_key("online");
+    let online_resume = args.contains_key("online_resume");
+    let replay_cap = get(&args, "replay_cap", 4096usize).max(1);
+    let staleness_ms = get(&args, "staleness_ms", 60_000u64);
+    let online_batch = get(&args, "online_batch", 64usize).max(1);
+    let online_lr = get(&args, "online_lr", 1e-2f32);
+    let online_dir = args.get("online_dir").cloned();
+    if online_resume && online_dir.is_none() {
+        eprintln!("--online-resume requires --online-dir");
+        std::process::exit(2);
+    }
     let trace_path = args.get("trace").cloned();
     let metrics_path = args.get("metrics").cloned();
     if trace_path.is_some() {
@@ -218,7 +257,7 @@ fn main() {
         src.mean_pct_change()
     );
 
-    let (cell, feats) = match load_model(
+    let (cell, serve_params, feats) = match load_model(
         &load_path,
         &model,
         features,
@@ -240,6 +279,51 @@ fn main() {
     engine.set_quantize(quantize);
     if quantize {
         println!("quantize: serving through the i8 per-row-absmax matmul path");
+    }
+
+    // The online loop's full initial state (weights + Adam + counters),
+    // captured before serving starts so --verify can clone the trainer.
+    let mut online_initial: Vec<stgraph_tensor::StateEntry> = Vec::new();
+    if online {
+        let cfg = OnlineConfig {
+            seed,
+            batch_size: online_batch,
+            lr: online_lr,
+            replay_cap,
+            staleness_ms,
+            ..OnlineConfig::default()
+        };
+        let mut trainer = OnlineTrainer::new(&model, features, hidden, src.num_nodes, cfg)
+            .expect("architecture already validated by load_model");
+        let mut resumed = None;
+        if let Some(dir) = &online_dir {
+            let mgr = CheckpointManager::new(dir, "online", keep);
+            if online_resume {
+                match trainer.resume_from(&mgr) {
+                    Ok(seq) => resumed = Some(seq),
+                    Err(e) => println!("online: no resumable checkpoint ({e}); starting fresh"),
+                }
+            }
+            trainer.set_manager(mgr);
+        }
+        if resumed.is_none() {
+            // Fresh start: the trainer continues from the served checkpoint.
+            trainer
+                .load_weights(&serve_params.state_dict())
+                .expect("serving weights match the trainer's architecture");
+        }
+        match resumed {
+            Some(seq) => println!(
+                "online: resumed at step {} (checkpoint sequence {seq}), replay cap {replay_cap}, staleness {staleness_ms}ms",
+                trainer.steps()
+            ),
+            None => println!(
+                "online: fresh start, replay cap {replay_cap}, staleness {staleness_ms}ms"
+            ),
+        }
+        online_initial = trainer.state_entries();
+        trainer.gauges().register();
+        engine.attach_online(trainer, DEFAULT_MODEL, serve_params.clone());
     }
     let queue = RequestQueue::new(config.queue_capacity);
     let per_gen = total_queries.div_ceil(generations);
@@ -290,11 +374,16 @@ fn main() {
     }
 
     let mut report = engine.report(elapsed);
+    let online_trainer = engine.take_online();
+    let online_halted = online_trainer.as_ref().map(|t| t.halted()).unwrap_or(false);
 
     // Run the direct replay before printing the report so the quantized
     // accuracy delta shows up in the stats block.
-    let verdict = if verify {
-        let (direct_cell, direct_feats) = load_model(
+    let verdict = if verify && online_halted {
+        println!("verify: skipped — online trainer halted by an injected fault");
+        None
+    } else if verify {
+        let (direct_cell, direct_params, direct_feats) = load_model(
             &load_path,
             &model,
             features,
@@ -304,7 +393,32 @@ fn main() {
             keep,
         )
         .expect("checkpoint reloaded for verification");
-        let expected = direct_chain(&src, &direct_feats, direct_cell.as_ref());
+        let expected = if online_trainer.is_some() {
+            // Replay the train-while-serving schedule from the captured
+            // initial state: forward g, apply diffs[g], step + publish.
+            let cfg = OnlineConfig {
+                seed,
+                batch_size: online_batch,
+                lr: online_lr,
+                replay_cap,
+                staleness_ms,
+                ..OnlineConfig::default()
+            };
+            let mut oracle = OnlineTrainer::new(&model, features, hidden, src.num_nodes, cfg)
+                .expect("architecture already validated");
+            oracle
+                .load_entries(&online_initial)
+                .expect("initial online state reloads");
+            online_direct_chain(
+                &src,
+                &direct_feats,
+                direct_cell.as_ref(),
+                &direct_params,
+                &mut oracle,
+            )
+        } else {
+            direct_chain(&src, &direct_feats, direct_cell.as_ref())
+        };
         if quantize {
             // The replay is full-precision f32; served values carry i8
             // quantization noise (accumulated through the hidden chain),
@@ -362,6 +476,27 @@ fn main() {
         println!("{line}");
     }
 
+    if let Some(t) = &online_trainer {
+        // One line per committed step, with the loss's exact bit pattern:
+        // the online-smoke CI job greps these to prove a crashed-and-resumed
+        // run rejoins the uninterrupted trajectory bitwise.
+        let first = t.steps() - t.trajectory().len() as u64;
+        for (i, l) in t.trajectory().iter().enumerate() {
+            println!(
+                "online step {} loss_bits {:08x} loss {:.6}",
+                first + 1 + i as u64,
+                l.to_bits(),
+                l
+            );
+        }
+        if online_halted {
+            println!(
+                "online: HALTED by injected fault after step {} — restart with --online-resume",
+                t.steps()
+            );
+        }
+    }
+
     if let Some(path) = &trace_path {
         match stgraph_telemetry::export::write_chrome_trace(path) {
             Ok(()) => println!("wrote Chrome trace to {path}"),
@@ -384,6 +519,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if online_halted {
+        std::process::exit(EXIT_ONLINE_HALTED);
     }
 }
 
@@ -410,6 +548,54 @@ fn direct_chain(src: &DtdgSource, feats: &Tensor, cell: &dyn RecurrentCell) -> V
         out.push(new.value().clone());
         if g + 1 < src.num_timestamps() {
             live.apply(&diffs[g]);
+        }
+    }
+    out
+}
+
+/// The train-while-serving oracle: the engine's exact schedule, no queue —
+/// forward generation `g` on the current weights, apply `diffs[g]`, run one
+/// online step, and install the published weights before `g+1`'s forward.
+/// With `oracle` cloned from the live trainer's initial state this replays
+/// the served embeddings bitwise.
+fn online_direct_chain(
+    src: &DtdgSource,
+    feats: &Tensor,
+    cell: &dyn RecurrentCell,
+    params: &ParamSet,
+    oracle: &mut OnlineTrainer,
+) -> Vec<Tensor> {
+    use stgraph::backend::create_backend;
+    use stgraph::executor::{GraphSource, TemporalExecutor};
+    use stgraph_tensor::Tape;
+
+    let mut live = LiveGraph::from_source(src);
+    let diffs = src.diffs();
+    let mut hidden: Option<Tensor> = None;
+    let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)] // g is a generation, not just an index
+    for g in 0..src.num_timestamps() {
+        let (_, snap) = live.snapshot();
+        let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+        let tape = Tape::new();
+        let x = tape.constant(feats.clone());
+        let h = hidden.clone().map(|t| tape.constant(t));
+        let new = cell.step(&tape, &exec, 0, &x, h.as_ref());
+        hidden = Some(new.value().clone());
+        out.push(new.value().clone());
+        if g + 1 < src.num_timestamps() {
+            live.apply(&diffs[g]);
+            let (_, snap) = live.snapshot();
+            match oracle.on_advance(live.generation(), &diffs[g], snap, feats) {
+                Ok(Some(published)) => params
+                    .try_load_state_dict(&published.entries)
+                    .expect("published weights match the serving cell"),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("verify: online oracle faulted ({e}); do not combine --verify with STGRAPH_FAULTS at online.* sites");
+                    std::process::exit(1);
+                }
+            }
         }
     }
     out

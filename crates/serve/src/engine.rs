@@ -62,7 +62,7 @@ use stgraph::backend::create_backend;
 use stgraph::executor::{GraphSource, TemporalExecutor};
 use stgraph::tgnn::RecurrentCell;
 use stgraph_dyngraph::source::UpdateBatch;
-use stgraph_tensor::{Tape, Tensor};
+use stgraph_tensor::{StateDict, Tape, Tensor};
 
 /// Locks recover from poisoning: a panic while holding a queue or slot
 /// lock must degrade that one request, not wedge every later caller.
@@ -452,11 +452,24 @@ struct ParkedChain {
 /// the engine a closure over `Send` checkpoint data instead of a cell.
 pub type ModelProvider = Box<dyn FnMut(ModelKey) -> Option<Box<dyn RecurrentCell>>>;
 
+/// An attached train-while-serving loop: the trainer (its own private
+/// cell), the resident model it publishes into, and the serving-side
+/// [`ParamSet`] whose `Param` handles are shared with that model's cell —
+/// loading a published state dict into it updates the serving weights in
+/// place, on the engine thread, between generation boundaries, so the
+/// hidden chain survives and no forward ever observes a partial update.
+struct OnlineSlot {
+    trainer: crate::online::OnlineTrainer,
+    key: ModelKey,
+    params: stgraph_tensor::nn::ParamSet,
+}
+
 /// The single-threaded owner of the resident models + live graph that
 /// answers batched queries. Construct it, then call
 /// [`InferenceEngine::run`] on the thread that owns it while producers
 /// feed the [`RequestQueue`].
 pub struct InferenceEngine {
+    online: Option<OnlineSlot>,
     models: HashMap<ModelKey, ModelSlot>,
     /// Chain state of LRU-evicted models: a provider reload *resumes* the
     /// chain instead of restarting it at `None`, so eviction does not
@@ -508,6 +521,7 @@ impl InferenceEngine {
             },
         );
         InferenceEngine {
+            online: None,
             models,
             parked: HashMap::new(),
             provider: None,
@@ -576,13 +590,78 @@ impl InferenceEngine {
         self.models.len()
     }
 
-    /// LRU-evicts until there is room for `incoming` under the cap.
+    /// Attaches a train-while-serving loop to the resident model `key`.
+    /// `params` must share its `Param` handles with that model's cell (the
+    /// `build_cell` / `build_resident_cell` pattern): each weight
+    /// generation the trainer publishes is loaded into it in place on the
+    /// engine thread, between generation boundaries, so forwards memoised
+    /// for generation `g` keep their weights and generation `g+1` sees the
+    /// new ones whole. The key is exempt from LRU eviction while attached.
+    pub fn attach_online(
+        &mut self,
+        trainer: crate::online::OnlineTrainer,
+        key: ModelKey,
+        params: stgraph_tensor::nn::ParamSet,
+    ) {
+        assert!(
+            self.models.contains_key(&key),
+            "attach_online requires a resident model"
+        );
+        self.online = Some(OnlineSlot {
+            trainer,
+            key,
+            params,
+        });
+    }
+
+    /// Detaches and returns the online trainer, if one is attached.
+    pub fn take_online(&mut self) -> Option<crate::online::OnlineTrainer> {
+        self.online.take().map(|s| s.trainer)
+    }
+
+    /// Stats of the attached online trainer, if any.
+    pub fn online_stats(&self) -> Option<crate::online::OnlineStats> {
+        self.online.as_ref().map(|s| s.trainer.stats())
+    }
+
+    /// Runs the attached trainer against a freshly applied stream batch and
+    /// installs any published weight generation into the serving params.
+    fn online_advance(&mut self, batch: &UpdateBatch) {
+        let Some(mut slot) = self.online.take() else {
+            return;
+        };
+        let generation = self.live.generation();
+        let (_, snap) = self.live.snapshot();
+        match slot
+            .trainer
+            .on_advance(generation, batch, snap, &self.features)
+        {
+            Ok(Some(published)) => {
+                if slot.params.try_load_state_dict(&published.entries).is_err() {
+                    stgraph_telemetry::counter("online.publish_rejected").inc();
+                }
+            }
+            Ok(None) => {}
+            Err(_) => {
+                // Typed fault: the step rolled back bitwise and the trainer
+                // halted itself. Serving continues on the last generation.
+                stgraph_telemetry::counter("online.faults").inc();
+            }
+        }
+        self.online = Some(slot);
+    }
+
+    /// LRU-evicts until there is room for `incoming` under the cap. The
+    /// [`DEFAULT_MODEL`], the incoming key, and the online-attached model
+    /// (whose serving `ParamSet` is live-updated in place) are never
+    /// victims.
     fn evict_to_fit(&mut self, incoming: ModelKey) {
+        let online_key = self.online.as_ref().map(|s| s.key);
         while self.models.len() >= self.max_models && !self.models.contains_key(&incoming) {
             let victim = self
                 .models
                 .iter()
-                .filter(|(k, _)| **k != DEFAULT_MODEL && **k != incoming)
+                .filter(|(k, _)| **k != DEFAULT_MODEL && **k != incoming && Some(**k) != online_key)
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(k, _)| *k);
             match victim {
@@ -836,8 +915,14 @@ impl InferenceEngine {
                         self.parked.remove(&key);
                     }
                 }
-                let _sp = stgraph_telemetry::span_cat("serve.ingest", "serve");
-                self.live.apply(&batch);
+                {
+                    let _sp = stgraph_telemetry::span_cat("serve.ingest", "serve");
+                    self.live.apply(&batch);
+                }
+                // Train-while-serving: one incremental step + atomic weight
+                // publish per applied batch, after the pinned forwards above
+                // sealed generation `g` and before any forward of `g+1`.
+                self.online_advance(&batch);
             }
             if drained.closed {
                 self.shed_seen = queue.shed();
@@ -868,6 +953,7 @@ impl InferenceEngine {
             faults_injected: stgraph_faultline::injected_count(),
             quantized: self.quantize,
             quant_max_rel_err: None,
+            online: self.online_stats(),
         }
     }
 }

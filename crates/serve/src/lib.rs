@@ -18,6 +18,11 @@
 //! * [`host`] — [`EngineHost`], which spawns the engine on its own thread
 //!   (cells are `!Send`) behind a shared [`RequestQueue`], the submit
 //!   boundary the network tier (`stgraph-net`) feeds;
+//! * [`online`] — [`OnlineTrainer`](online::OnlineTrainer), the
+//!   train-while-serving loop: incremental gradient steps on freshly
+//!   ingested edges from a bounded time-indexed replay buffer, with weight
+//!   generations published atomically and Adam state checkpointed
+//!   crash-consistently;
 //! * [`zoo`] — [`build_cell`], the architecture-name → cell constructor
 //!   shared by the binaries and the per-tenant model registry.
 //!
@@ -33,6 +38,7 @@ pub mod engine;
 pub mod host;
 pub mod ingest;
 pub mod manager;
+pub mod online;
 pub mod stats;
 pub mod zoo;
 
@@ -44,5 +50,9 @@ pub use engine::{
 pub use host::EngineHost;
 pub use ingest::{IngestError, IngestStats, LiveGraph};
 pub use manager::CheckpointManager;
+pub use online::{
+    OnlineConfig, OnlineError, OnlineGauges, OnlineStats, OnlineTrainer, PublishedWeights,
+    ReplayBuffer, ReplayEntry,
+};
 pub use stats::{LatencyRecorder, ServeReport};
 pub use zoo::build_cell;

@@ -109,6 +109,9 @@ pub struct ServeReport {
     /// [`stgraph_tensor::quant`]). Filled in by `serve --verify
     /// --quantize`; `None` when no replay was checked.
     pub quant_max_rel_err: Option<f32>,
+    /// Train-while-serving stats — `Some` only when an online trainer was
+    /// attached ([`crate::online::OnlineTrainer`]).
+    pub online: Option<crate::online::OnlineStats>,
 }
 
 impl ServeReport {
@@ -189,6 +192,17 @@ impl fmt::Display for ServeReport {
                 )?,
                 None => writeln!(f, "quantize: i8 inference (accuracy unchecked)")?,
             }
+        }
+        if let Some(o) = &self.online {
+            writeln!(
+                f,
+                "online: {} steps, weight gen {}, replay {} edges, last loss {:.6}{}",
+                o.steps,
+                o.weight_generation,
+                o.replay_len,
+                o.last_loss,
+                if o.halted { " [halted]" } else { "" },
+            )?;
         }
         writeln!(
             f,
@@ -280,6 +294,7 @@ mod tests {
             faults_injected: 0,
             quantized: false,
             quant_max_rel_err: None,
+            online: None,
         };
         assert!((report.throughput_qps() - 50.0).abs() < 1e-9);
         assert!((report.mean_batch_size() - 10.0).abs() < 1e-9);

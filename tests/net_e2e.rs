@@ -10,14 +10,17 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 use stgraph_dyngraph::source::DtdgSource;
+use stgraph_dyngraph::UpdateBatch;
 use stgraph_net::{
     build_resident_cell, http, wire, AdmissionController, ModelMeta, ModelRegistry, NetConfig,
     NetServer, ServeContext, ServerHandle, TenantQuota,
 };
 use stgraph_serve::ingest::LiveGraph;
-use stgraph_serve::{save_checkpoint, EngineHost, InferenceEngine, ServeConfig};
+use stgraph_serve::{
+    save_checkpoint, EngineHost, InferenceEngine, OnlineConfig, OnlineTrainer, ServeConfig,
+};
 use stgraph_tensor::nn::ParamSet;
-use stgraph_tensor::{StateDict, Tensor};
+use stgraph_tensor::{StateDict, Tape, Tensor};
 
 const NODES: usize = 6;
 const FEATURES: usize = 3;
@@ -55,14 +58,24 @@ impl Stack {
 /// Boots checkpoints → registry → engine thread → listeners. `quotas`
 /// overrides the (generous) default quota per tenant.
 fn start_stack(tag: &str, quotas: &[(&str, TenantQuota)]) -> Stack {
+    start_stack_opts(tag, quotas, false)
+}
+
+/// The online seed and step batch used by both the served stack and the
+/// offline replay oracle — they must agree for the bitwise assertion.
+const ONLINE_SEED: u64 = 11;
+const ONLINE_BATCH: usize = 4;
+
+fn start_stack_opts(tag: &str, quotas: &[(&str, TenantQuota)], online: bool) -> Stack {
     let dir = std::env::temp_dir().join(format!("stgraph-net-e2e-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 
     let registry = Arc::new(ModelRegistry::new(64 << 20));
+    let mut t0_key = None;
     for (i, tenant) in ["t0", "t1"].iter().enumerate() {
         let seed = 11 + i as u64;
         let path = write_tenant_checkpoint(&dir, tenant, seed);
-        registry
+        let key = registry
             .publish(
                 tenant,
                 ModelMeta {
@@ -74,6 +87,9 @@ fn start_stack(tag: &str, quotas: &[(&str, TenantQuota)]) -> Stack {
                 &path,
             )
             .unwrap();
+        if i == 0 {
+            t0_key = Some(key);
+        }
     }
 
     let reg_for_engine = Arc::clone(&registry);
@@ -91,6 +107,27 @@ fn start_stack(tag: &str, quotas: &[(&str, TenantQuota)]) -> Stack {
                 .ok()
                 .and_then(|m| build_resident_cell(&m))
         }));
+        if online {
+            // Tenant t0 trains on the live stream: rebuild its cell with
+            // the registry's exact draw order (a fresh init equals the
+            // saved checkpoint), pin it resident, and attach the trainer
+            // to the serving ParamSet.
+            let mut rng = ChaCha8Rng::seed_from_u64(ONLINE_SEED);
+            let mut t0_params = ParamSet::new();
+            let t0_cell =
+                stgraph_serve::build_cell("tgcn", &mut t0_params, FEATURES, HIDDEN, &mut rng)
+                    .unwrap();
+            let key = t0_key.unwrap();
+            engine.install_model(key, t0_cell);
+            let cfg = OnlineConfig {
+                seed: ONLINE_SEED,
+                batch_size: ONLINE_BATCH,
+                ..OnlineConfig::default()
+            };
+            let mut trainer = OnlineTrainer::new("tgcn", FEATURES, HIDDEN, NODES, cfg).unwrap();
+            trainer.load_weights(&t0_params.state_dict()).unwrap();
+            engine.attach_online(trainer, key, t0_params);
+        }
         engine
     });
 
@@ -383,6 +420,127 @@ fn metrics_endpoint_serves_parseable_prometheus_with_tenant_labels() {
     assert_eq!(body, b"ok\n");
 
     stack.stop();
+}
+
+/// Online mode: POST /ingest batches drive real gradient steps on tenant
+/// t0 while /infer keeps serving. Every served response must be bitwise
+/// equal to an offline replay of the same schedule at the same published
+/// weight generation — the generation-publish protocol means a query
+/// pinned to graph generation `g` sees exactly the weights published at
+/// `g`, never a half-updated dict.
+#[test]
+fn online_mode_infer_is_bitwise_equal_to_offline_replay() {
+    let stack = start_stack_opts("online", &[], true);
+
+    let infer = |node: u32| {
+        let (status, payload) = http_exchange(
+            stack.http(),
+            "GET",
+            &format!("/infer?tenant=t0&node={node}"),
+            b"",
+        );
+        assert_eq!(status, 200, "online infer must keep serving");
+        wire::decode_infer_payload(&payload).unwrap()
+    };
+
+    // The client schedule: an infer before any training, then three
+    // ingest+infer rounds. Each ingest advances the graph generation and
+    // triggers one online step + publish.
+    type EdgeSet = Vec<(u32, u32)>;
+    let rounds: Vec<(EdgeSet, EdgeSet)> = vec![
+        (vec![(3, 4), (4, 5)], vec![]),
+        (vec![(0, 2), (2, 4)], vec![(0, 1)]),
+        (vec![(1, 3)], vec![(2, 3)]),
+    ];
+    let mut served = vec![infer(3)];
+    for (adds, dels) in &rounds {
+        let mut body = String::new();
+        for (s, d) in adds {
+            body.push_str(&format!("+ {s} {d}\n"));
+        }
+        for (s, d) in dels {
+            body.push_str(&format!("- {s} {d}\n"));
+        }
+        let (status, reply) =
+            http_exchange(stack.http(), "POST", "/ingest?tenant=t0", body.as_bytes());
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&reply));
+        served.push(infer(3));
+    }
+    stack.stop();
+
+    // Offline replay: rebuild the engine's exact state — same RNG draw
+    // order for the default cell and features, same t0 init, same trainer
+    // seed — and walk the same schedule in-process.
+    use stgraph::backend::create_backend;
+    use stgraph::executor::{GraphSource, TemporalExecutor};
+
+    let src = DtdgSource::from_snapshot_edges(NODES, vec![vec![(0, 1), (1, 2), (2, 3)]]);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut default_params = ParamSet::new();
+    let _default_cell =
+        stgraph_serve::build_cell("tgcn", &mut default_params, FEATURES, HIDDEN, &mut rng).unwrap();
+    let feats = Tensor::rand_uniform((NODES, FEATURES), -1.0, 1.0, &mut rng);
+
+    let mut t0_rng = ChaCha8Rng::seed_from_u64(ONLINE_SEED);
+    let mut t0_params = ParamSet::new();
+    let t0_cell =
+        stgraph_serve::build_cell("tgcn", &mut t0_params, FEATURES, HIDDEN, &mut t0_rng).unwrap();
+    let cfg = OnlineConfig {
+        seed: ONLINE_SEED,
+        batch_size: ONLINE_BATCH,
+        ..OnlineConfig::default()
+    };
+    let mut trainer = OnlineTrainer::new("tgcn", FEATURES, HIDDEN, NODES, cfg).unwrap();
+    trainer.load_weights(&t0_params.state_dict()).unwrap();
+
+    let mut live = LiveGraph::from_source(&src);
+    let mut hidden: Option<Tensor> = None;
+    // The engine's forward: one recurrent step per served query, over the
+    // snapshot of the current generation, with the chain's carried hidden.
+    let forward = |live: &mut LiveGraph, hidden: &mut Option<Tensor>| -> (u64, Vec<f32>) {
+        let (g, snap) = live.snapshot();
+        let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+        let tape = Tape::new();
+        let x = tape.constant(feats.clone());
+        let h_prev = hidden.clone().map(|t| tape.constant(t));
+        let h = t0_cell.step(&tape, &exec, 0, &x, h_prev.as_ref());
+        let emb = h.value().clone();
+        *hidden = Some(emb.clone());
+        (g, emb.gather_rows(&[3]).data().to_vec())
+    };
+
+    let mut replayed = vec![forward(&mut live, &mut hidden)];
+    for (adds, dels) in &rounds {
+        let batch = UpdateBatch {
+            additions: adds.clone(),
+            deletions: dels.clone(),
+        };
+        live.apply(&batch);
+        let (_, snap) = live.snapshot();
+        match trainer.on_advance(live.generation(), &batch, snap, &feats) {
+            Ok(Some(published)) => t0_params.try_load_state_dict(&published.entries).unwrap(),
+            Ok(None) => panic!("every ingest round must publish a weight generation"),
+            Err(e) => panic!("offline replay faulted: {e}"),
+        }
+        replayed.push(forward(&mut live, &mut hidden));
+    }
+    assert_eq!(trainer.steps(), rounds.len() as u64);
+
+    // Bitwise: generation and every f32 of every response.
+    assert_eq!(served.len(), replayed.len());
+    for (i, ((node, sg, sv), (rg, rv))) in served.iter().zip(&replayed).enumerate() {
+        assert_eq!(*node, 3);
+        assert_eq!(sg, rg, "response {i}: generation");
+        let s_bits: Vec<u32> = sv.iter().map(|x| x.to_bits()).collect();
+        let r_bits: Vec<u32> = rv.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            s_bits, r_bits,
+            "response {i}: served payload diverged from offline replay at generation {sg}"
+        );
+    }
+    // Training actually moved the weights: the first and last responses
+    // (same node, advancing generations) must differ.
+    assert_ne!(served[0].2, served[rounds.len()].2);
 }
 
 #[test]

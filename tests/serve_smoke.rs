@@ -5,6 +5,13 @@
 //! chain computed with the original trained model — proving the checkpoint
 //! transported the weights faithfully and the engine's batching changes
 //! nothing numerically.
+//!
+//! The smoke runs as a two-mode matrix, not just the frozen-checkpoint
+//! path: with `online = true` an [`OnlineTrainer`] rides the same engine,
+//! taking one gradient step per stream batch and publishing each weight
+//! generation behind the generation guard — and the served values must
+//! then match an *online* direct replay (forward at generation `g` with
+//! the weights published at `g`) just as bitwise.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -18,10 +25,23 @@ use stgraph::train::{link_prediction_batches, train_epoch_link_prediction};
 use stgraph_datasets::load_dynamic;
 use stgraph_dyngraph::{DtdgSource, GpmaGraph};
 use stgraph_serve::engine::{InferenceEngine, RequestQueue, ServeConfig, Ticket};
-use stgraph_serve::{load_into, save_model, LiveGraph};
+use stgraph_serve::{load_into, save_model, LiveGraph, OnlineConfig, OnlineTrainer, DEFAULT_MODEL};
 use stgraph_tensor::nn::ParamSet;
 use stgraph_tensor::optim::Adam;
-use stgraph_tensor::{Tape, Tensor};
+use stgraph_tensor::{StateDict, Tape, Tensor};
+
+const FEATURES: usize = 4;
+const HIDDEN: usize = 6;
+const ONLINE_SEED: u64 = 17;
+const ONLINE_BATCH: usize = 16;
+
+fn online_config() -> OnlineConfig {
+    OnlineConfig {
+        seed: ONLINE_SEED,
+        batch_size: ONLINE_BATCH,
+        ..OnlineConfig::default()
+    }
+}
 
 /// Direct, unbatched replay: one recurrent step per generation with the
 /// hidden state carried — the oracle the engine must match bitwise.
@@ -47,9 +67,47 @@ fn direct_chain(src: &DtdgSource, feats: &Tensor, cell: &dyn RecurrentCell) -> V
     out
 }
 
-#[test]
-fn train_checkpoint_serve_end_to_end() {
-    let path = std::env::temp_dir().join(format!("stgc-smoke-{}.stgc", std::process::id()));
+/// The online oracle: forward at generation `g` with the weights published
+/// at `g`, then apply the batch, run the trainer's step + publish, and
+/// load the published generation into the oracle's serving params — the
+/// exact sequence the engine's run loop performs.
+fn online_direct_chain(
+    src: &DtdgSource,
+    feats: &Tensor,
+    cell: &dyn RecurrentCell,
+    params: &ParamSet,
+    trainer: &mut OnlineTrainer,
+) -> Vec<Tensor> {
+    let mut live = LiveGraph::from_source(src);
+    let diffs = src.diffs();
+    let mut hidden: Option<Tensor> = None;
+    let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)] // g is a generation, not just an index
+    for g in 0..src.num_timestamps() {
+        let (_, snap) = live.snapshot();
+        let exec = TemporalExecutor::new(create_backend("seastar"), GraphSource::Static(snap));
+        let tape = Tape::new();
+        let x = tape.constant(feats.clone());
+        let h = hidden.clone().map(|t| tape.constant(t));
+        let new = cell.step(&tape, &exec, 0, &x, h.as_ref());
+        hidden = Some(new.value().clone());
+        out.push(new.value().clone());
+        if g + 1 < src.num_timestamps() {
+            live.apply(&diffs[g]);
+            let (_, snap) = live.snapshot();
+            match trainer.on_advance(live.generation(), &diffs[g], snap, feats) {
+                Ok(Some(published)) => params.try_load_state_dict(&published.entries).unwrap(),
+                Ok(None) => {}
+                Err(e) => panic!("oracle trainer faulted: {e}"),
+            }
+        }
+    }
+    out
+}
+
+fn run(online: bool) {
+    let tag = if online { "online" } else { "frozen" };
+    let path = std::env::temp_dir().join(format!("stgc-smoke-{tag}-{}.stgc", std::process::id()));
 
     // A small dynamic dataset: 6 generations.
     let raw = load_dynamic("sx-mathoverflow", 300);
@@ -60,10 +118,10 @@ fn train_checkpoint_serve_end_to_end() {
     // Train 2 epochs of link prediction, then checkpoint.
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let mut ps = ParamSet::new();
-    let cell = Tgcn::new(&mut ps, "cell", 4, 6, &mut rng);
+    let cell = Tgcn::new(&mut ps, "cell", FEATURES, HIDDEN, &mut rng);
     let trained = ps.clone();
     let mut opt = Adam::new(ps, 0.01);
-    let feats = Tensor::rand_uniform((src.num_nodes, 4), -1.0, 1.0, &mut rng);
+    let feats = Tensor::rand_uniform((src.num_nodes, FEATURES), -1.0, 1.0, &mut rng);
     let batches = link_prediction_batches(&src, 64, 3);
     let exec = TemporalExecutor::new(
         create_backend("seastar"),
@@ -76,16 +134,37 @@ fn train_checkpoint_serve_end_to_end() {
 
     // Load into a fresh, differently-initialised model.
     let mut ps2 = ParamSet::new();
-    let cell2 = Tgcn::new(&mut ps2, "cell", 4, 6, &mut ChaCha8Rng::seed_from_u64(99));
+    let cell2 = Tgcn::new(
+        &mut ps2,
+        "cell",
+        FEATURES,
+        HIDDEN,
+        &mut ChaCha8Rng::seed_from_u64(99),
+    );
     load_into(&path, &ps2).unwrap();
 
     // Oracle computed with the ORIGINAL trained cell; the engine uses only
     // the checkpoint-restored copy. Bitwise agreement therefore proves the
-    // checkpoint + engine pipeline end to end.
-    let expected = direct_chain(&src, &feats, &cell);
+    // checkpoint + engine pipeline end to end. In online mode the oracle
+    // additionally runs its own trainer replica so its weights walk the
+    // same published generations.
+    let expected = if online {
+        let mut oracle =
+            OnlineTrainer::new("tgcn", FEATURES, HIDDEN, src.num_nodes, online_config()).unwrap();
+        oracle.load_weights(&trained.state_dict()).unwrap();
+        online_direct_chain(&src, &feats, &cell, &trained, &mut oracle)
+    } else {
+        direct_chain(&src, &feats, &cell)
+    };
 
     let live = LiveGraph::from_source(&src);
     let mut engine = InferenceEngine::new(Box::new(cell2), feats.clone(), live, "seastar");
+    if online {
+        let mut trainer =
+            OnlineTrainer::new("tgcn", FEATURES, HIDDEN, src.num_nodes, online_config()).unwrap();
+        trainer.load_weights(&ps2.state_dict()).unwrap();
+        engine.attach_online(trainer, DEFAULT_MODEL, ps2.clone());
+    }
     let queue = RequestQueue::new(128);
     let config = ServeConfig {
         max_batch: 32,
@@ -127,13 +206,13 @@ fn train_checkpoint_serve_end_to_end() {
     assert!(responses.len() >= 100, "served {} queries", responses.len());
     for resp in &responses {
         let want = &expected[resp.generation as usize];
-        let want_bits: Vec<u32> = (0..6)
+        let want_bits: Vec<u32> = (0..HIDDEN)
             .map(|j| want.at(resp.node as usize, j).to_bits())
             .collect();
         let got_bits: Vec<u32> = resp.values.iter().map(|v| v.to_bits()).collect();
         assert_eq!(
             got_bits, want_bits,
-            "node {} at generation {} must match the direct replay bitwise",
+            "node {} at generation {} must match the direct replay bitwise (online={online})",
             resp.node, resp.generation
         );
     }
@@ -156,5 +235,30 @@ fn train_checkpoint_serve_end_to_end() {
     assert!(text.contains("latency: p50"));
     assert!(text.contains("buffer pool:"));
 
+    if online {
+        // The trainer actually trained: one committed step and one
+        // published weight generation per applied stream batch.
+        let stats = report.online.expect("online stats in the report");
+        assert_eq!(stats.steps, generations as u64 - 1);
+        assert_eq!(stats.weight_generation, generations as u64 - 1);
+        assert!(!stats.halted);
+        assert!(text.contains("online:"), "report prints the online line");
+        let trainer = engine.take_online().expect("trainer still attached");
+        assert_eq!(trainer.trajectory().len(), generations - 1);
+        assert!(trainer.trajectory().iter().all(|l| l.is_finite()));
+    } else {
+        assert!(report.online.is_none(), "frozen mode attaches no trainer");
+    }
+
     std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn train_checkpoint_serve_end_to_end() {
+    run(false);
+}
+
+#[test]
+fn train_checkpoint_serve_end_to_end_online() {
+    run(true);
 }
